@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table (or inline result list) of the
+paper's evaluation section, printing rows in a paper-like format in
+addition to the pytest-benchmark timings.  Because the substrate here is a
+pure-Python model (not the authors' OCaml tool on a desktop machine), the
+workload configurations are scaled down; EXPERIMENTS.md records the
+scaling factors and the measured numbers next to the paper's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Print a small aligned table (visible with ``pytest -s`` and in logs)."""
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print()
+    print(f"== {title} ==")
+    print("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

@@ -1,0 +1,66 @@
+"""Experiment E6 — ablation of the explorer's two optimisations (§7).
+
+The paper attributes the tool's performance to (a) the promise-first /
+writes-first exploration order justified by Theorem 7.1 and (b) the
+shared-location optimisation.  This benchmark removes each optimisation in
+turn and measures the state-space and run-time impact, checking that the
+outcome sets stay identical (the optimisations are semantics-preserving).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.kinds import Arch
+from repro.litmus import get_test
+from repro.promising import ExploreConfig, explore, explore_naive
+from repro.workloads import spinlock_cxx, spsc_queue
+
+_rows: list[list[object]] = []
+
+
+CASES = [
+    ("LB litmus", lambda: get_test("LB").program),
+    ("MP litmus", lambda: get_test("MP").program),
+    ("PCS-1-1", lambda: spsc_queue(1, 1).program),
+]
+
+
+@pytest.mark.parametrize("label,builder", CASES, ids=[c[0] for c in CASES])
+def test_promise_first_vs_naive(benchmark, label, builder):
+    program = builder()
+    config = ExploreConfig(arch=Arch.ARM)
+    fast = benchmark.pedantic(lambda: explore(program, config), rounds=1, iterations=1)
+    slow = explore_naive(program, config)
+    assert set(fast.outcomes) == set(slow.outcomes), label
+    _rows.append(
+        [label, "promise-first", f"{fast.stats.elapsed_seconds:.3f}s", fast.stats.promise_states]
+    )
+    _rows.append(
+        [label, "naive interleaving", f"{slow.stats.elapsed_seconds:.3f}s", slow.stats.promise_states]
+    )
+    assert slow.stats.promise_states >= fast.stats.promise_states
+
+
+def test_local_location_optimisation(benchmark):
+    workload = spinlock_cxx(2, 1)
+    with_opt = benchmark.pedantic(
+        lambda: explore(workload.program, ExploreConfig(arch=Arch.ARM, localise=True)),
+        rounds=1, iterations=1,
+    )
+    without_opt = explore(workload.program, ExploreConfig(arch=Arch.ARM, localise=False))
+    _rows.append(["SLC-1", "with localisation", f"{with_opt.stats.elapsed_seconds:.3f}s",
+                  with_opt.stats.promise_states])
+    _rows.append(["SLC-1", "without localisation", f"{without_opt.stats.elapsed_seconds:.3f}s",
+                  without_opt.stats.promise_states])
+    assert workload.check(with_opt.outcomes) and workload.check(without_opt.outcomes)
+    assert without_opt.stats.promise_states >= with_opt.stats.promise_states
+
+
+def test_ablation_summary(table_printer):
+    table_printer(
+        "explorer ablation (§7 optimisations)",
+        ["case", "strategy", "time", "explored states"],
+        _rows,
+    )
+    assert _rows

@@ -1,0 +1,66 @@
+"""Experiment E5 — the §8 Michael–Scott queue case study.
+
+The paper's example use case: the conservatively-synchronised queue checks
+out (no incorrect state), the relaxed variant is caught by the exhaustive
+exploration (an enqueue is observed before its payload), and the tool
+produces a witness trace for interactive debugging.  This benchmark times
+the exhaustive check of the fixed variant, the bug-finding run on the
+relaxed variant, and the witness search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.kinds import Arch
+from repro.promising import ExploreConfig, explore, find_witness
+from repro.workloads import ms_queue
+
+
+def test_fixed_queue_has_no_incorrect_state(benchmark):
+    workload = ms_queue(("e", "d"), release_link=True)
+    result = benchmark.pedantic(
+        lambda: explore(workload.program, ExploreConfig(arch=Arch.ARM)),
+        rounds=1, iterations=1,
+    )
+    assert workload.violations(result.outcomes) == []
+
+
+def test_relaxed_queue_bug_is_found(benchmark, table_printer):
+    workload = ms_queue(("e", "d"), release_link=False)
+    result = benchmark.pedantic(
+        lambda: explore(workload.program, ExploreConfig(arch=Arch.ARM)),
+        rounds=1, iterations=1,
+    )
+    violations = workload.violations(result.outcomes)
+    assert violations, "the relaxed publication bug must be detected"
+    table_printer(
+        "§8 case study: relaxed Michael–Scott queue",
+        ["outcomes", "incorrect states", "exploration time"],
+        [[len(result.outcomes), len(violations), f"{result.stats.elapsed_seconds:.2f}s"]],
+    )
+
+
+def test_witness_trace_for_the_bug(benchmark):
+    workload = ms_queue(("e", "d"), release_link=False)
+    explored = explore(workload.program, ExploreConfig(arch=Arch.ARM))
+    target = workload.violations(explored.outcomes)[0]
+
+    trace = benchmark.pedantic(
+        lambda: find_witness(
+            workload.program, lambda o: o.project() == target.project(), Arch.ARM
+        ),
+        rounds=1, iterations=1,
+    )
+    assert trace is not None
+    assert any(entry.transition.step.kind == "promise" for entry in trace)
+
+
+def test_larger_fixed_configuration(benchmark):
+    """QU-110-010-style configuration (scaled from the paper's QU rows)."""
+    workload = ms_queue(("ed", "d"), release_link=True)
+    result = benchmark.pedantic(
+        lambda: explore(workload.program, ExploreConfig(arch=Arch.ARM)),
+        rounds=1, iterations=1,
+    )
+    assert workload.violations(result.outcomes) == []

@@ -1,0 +1,45 @@
+"""Experiment E1 — Table 1: workload inventory (size and thread counts).
+
+The paper's Table 1 lists, for each of the ten evaluation workloads, its
+source language, assembly line count and thread count.  Here the same ten
+families are built (in the calculus / through the ARMv8 front end for SLA)
+and measured: thread count, static memory-access count, and statement
+count; for SLA also the actual assembly line count.  The benchmark times
+workload construction, which includes assembling/structurising SLA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import count_memory_accesses, statement_size
+from repro.workloads import FAMILIES
+
+
+def build_all():
+    return {key: family.builder() for key, family in FAMILIES.items()}
+
+
+def test_table1_inventory(benchmark, table_printer):
+    workloads = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    rows = []
+    for key, workload in workloads.items():
+        family = FAMILIES[key]
+        program = workload.program
+        accesses = sum(count_memory_accesses(t) for t in program.threads)
+        size = sum(statement_size(t) for t in program.threads)
+        asm = getattr(workload, "assembly_lines", "-")
+        rows.append([key, family.language, program.n_threads, accesses, size, asm])
+    table_printer(
+        "Table 1 (reproduction): workload inventory",
+        ["test", "lang", "threads", "mem accesses", "stmt nodes", "asm lines"],
+        rows,
+    )
+    assert len(rows) == 10
+    assert all(row[2] >= 1 for row in rows)
+
+
+@pytest.mark.parametrize("key", sorted(FAMILIES))
+def test_each_family_builds(benchmark, key):
+    workload = benchmark.pedantic(FAMILIES[key].builder, rounds=1, iterations=1)
+    assert workload.program.n_threads >= 1

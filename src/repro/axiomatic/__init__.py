@@ -1,0 +1,41 @@
+"""The reference ARMv8/RISC-V axiomatic memory model (Fig. 6)."""
+
+from .events import Event, EventId, INIT_TID, init_write
+from .relations import Relation, cross, identity_on, relation_from_pairs
+from .preexec import (
+    PreExecution,
+    TooManyPreExecutions,
+    enumerate_preexecutions,
+    infer_value_domains,
+)
+from .model import (
+    AxiomaticConfig,
+    AxiomaticResult,
+    AxiomaticStats,
+    CandidateExecution,
+    check_axioms,
+    enumerate_axiomatic_outcomes,
+    preserved_ordering,
+)
+
+__all__ = [
+    "Event",
+    "EventId",
+    "INIT_TID",
+    "init_write",
+    "Relation",
+    "cross",
+    "identity_on",
+    "relation_from_pairs",
+    "PreExecution",
+    "TooManyPreExecutions",
+    "enumerate_preexecutions",
+    "infer_value_domains",
+    "AxiomaticConfig",
+    "AxiomaticResult",
+    "AxiomaticStats",
+    "CandidateExecution",
+    "check_axioms",
+    "enumerate_axiomatic_outcomes",
+    "preserved_ordering",
+]

@@ -1,0 +1,128 @@
+"""Events of candidate executions (the axiomatic model's vocabulary).
+
+A candidate execution consists of memory-access, fence and ISB events with
+per-thread program order, plus the execution witness relations ``rf`` (a
+read reads from a write), ``co`` (per-location coherence order) and ``rmw``
+(successful load/store-exclusive pairing).  Dependencies (``addr``,
+``data``, ``ctrl``) are recorded on the events themselves while a thread's
+pre-execution is generated, because they are purely syntactic properties
+of the instruction stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from ..lang.expr import Reg, Value
+from ..lang.kinds import FenceSet, ReadKind, WriteKind
+from ..lang.program import Loc, TId
+
+#: Event identifiers are (thread id, per-thread index); initial writes use
+#: thread id -1.
+EventId = tuple[int, int]
+
+INIT_TID = -1
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event of a candidate execution."""
+
+    eid: EventId
+    tid: TId
+    kind: str  # 'R', 'W', 'F', 'ISB'
+    loc: Optional[Loc] = None
+    val: Optional[Value] = None
+    #: Read kind (loads) — plain / weak acquire / acquire.
+    rkind: ReadKind = ReadKind.PLN
+    #: Write kind (stores) — plain / weak release / release.
+    wkind: WriteKind = WriteKind.PLN
+    #: Exclusive access (load-reserve / store-conditional)?
+    exclusive: bool = False
+    #: Fence operands for 'F' events (before / after classes).
+    fence_before: FenceSet = FenceSet.NONE
+    fence_after: FenceSet = FenceSet.NONE
+    #: Read events this event's address depends on.
+    addr_deps: FrozenSet[EventId] = frozenset()
+    #: Read events this event's data depends on (stores only).
+    data_deps: FrozenSet[EventId] = frozenset()
+    #: Read events this event is control-dependent on.
+    ctrl_deps: FrozenSet[EventId] = frozenset()
+    #: For a successful store exclusive: the paired load exclusive.
+    rmw_partner: Optional[EventId] = None
+
+    # -- classification ------------------------------------------------------
+    @property
+    def is_read(self) -> bool:
+        return self.kind == "R"
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == "W"
+
+    @property
+    def is_access(self) -> bool:
+        return self.kind in ("R", "W")
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind == "F"
+
+    @property
+    def is_isb(self) -> bool:
+        return self.kind == "ISB"
+
+    @property
+    def is_init(self) -> bool:
+        return self.tid == INIT_TID
+
+    @property
+    def is_acquire(self) -> bool:
+        """AQ | AQpc — strong or weak acquire read."""
+        return self.is_read and self.rkind.is_acquire
+
+    @property
+    def is_strong_acquire(self) -> bool:
+        """AQ — strong acquire read."""
+        return self.is_read and self.rkind.is_strong_acquire
+
+    @property
+    def is_release(self) -> bool:
+        """RL | RLpc — strong or weak release write."""
+        return self.is_write and self.wkind.is_release
+
+    @property
+    def is_strong_release(self) -> bool:
+        """RL — strong release write."""
+        return self.is_write and self.wkind.is_strong_release
+
+    def matches_fence_class(self, klass: FenceSet) -> bool:
+        """Is this access in the R/W class ``klass`` of a fence operand?"""
+        if self.is_read:
+            return klass.includes(FenceSet.R)
+        if self.is_write:
+            return klass.includes(FenceSet.W)
+        return False
+
+    def __repr__(self) -> str:
+        if self.is_access:
+            tag = self.kind
+            if self.exclusive:
+                tag += "x"
+            if self.is_read and self.rkind is not ReadKind.PLN:
+                tag += f".{self.rkind.name.lower()}"
+            if self.is_write and self.wkind is not WriteKind.PLN:
+                tag += f".{self.wkind.name.lower()}"
+            return f"{self.eid}:{tag}[{self.loc}]={self.val}"
+        if self.is_fence:
+            return f"{self.eid}:F.{self.fence_before.name}.{self.fence_after.name}"
+        return f"{self.eid}:{self.kind}"
+
+
+def init_write(loc: Loc, value: Value, index: int) -> Event:
+    """The implicit initial write event of a location."""
+    return Event(eid=(INIT_TID, index), tid=INIT_TID, kind="W", loc=loc, val=value)
+
+
+__all__ = ["Event", "EventId", "INIT_TID", "init_write"]

@@ -1,0 +1,16 @@
+"""Flat-style abstract-microarchitectural baseline model."""
+
+from .machine import FlatState, FlatThread, WindowEntry, initial_state
+from .explorer import FlatConfig, FlatResult, FlatStats, explore_flat, successors
+
+__all__ = [
+    "FlatState",
+    "FlatThread",
+    "WindowEntry",
+    "initial_state",
+    "FlatConfig",
+    "FlatResult",
+    "FlatStats",
+    "explore_flat",
+    "successors",
+]

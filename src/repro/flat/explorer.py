@@ -1,0 +1,388 @@
+"""Transition rules and exhaustive exploration for the Flat-style model.
+
+See :mod:`repro.flat.machine` for the state definitions and for the
+relationship to the paper's Flat model.  The transitions are:
+
+``fetch``
+    Move the next instruction of the fetch frontier into the window; a
+    conditional branch is fetched *speculatively*, once per direction.
+``execute``
+    Out-of-order execution of a window entry whose operands are available
+    and whose ordering conditions (same-address, barriers, acquire,
+    release, speculation) are met.  Stores propagate to the flat storage;
+    store exclusives consult the reservation monitor and may always fail.
+``resolve``
+    A speculated branch whose condition has become available either
+    confirms the speculation or triggers a restart: the window suffix is
+    discarded and fetching resumes from the other continuation.
+
+Completed window prefixes retire automatically after every transition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from ..lang.ast import Assign, Fence, If, Isb, Load, Seq, Skip, Stmt, Store
+from ..lang.kinds import Arch, FenceSet, ReadKind, WriteKind, VFAIL, VSUCC
+from ..lang.program import Program, TId
+from ..lang.transform import unroll_program
+from ..lang import has_loops
+from ..outcomes import OutcomeSet
+from ..promising.steps import normalise
+from .machine import (
+    FlatState,
+    FlatThread,
+    UNAVAILABLE,
+    WindowEntry,
+    entry_address,
+    initial_state,
+    try_eval,
+    unresolved_branch_before,
+    window_regs,
+)
+
+
+@dataclass
+class FlatConfig:
+    """Configuration of the Flat-style explorer."""
+
+    arch: Arch = Arch.ARM
+    loop_bound: int = 2
+    #: Maximum number of in-flight instructions per thread.
+    window_size: int = 8
+    #: Cap on explored machine states.
+    max_states: int = 2_000_000
+
+
+@dataclass
+class FlatStats:
+    states: int = 0
+    transitions: int = 0
+    restarts: int = 0
+    truncated: bool = False
+    elapsed_seconds: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"states: {self.states}, transitions: {self.transitions}, "
+            f"restarts: {self.restarts}, truncated: {self.truncated}, "
+            f"time: {self.elapsed_seconds:.3f}s"
+        )
+
+
+@dataclass
+class FlatResult:
+    outcomes: OutcomeSet
+    stats: FlatStats
+    program: Program
+
+
+# ---------------------------------------------------------------------------
+# Helpers over statements
+# ---------------------------------------------------------------------------
+
+
+def _split_head(stmt: Stmt) -> tuple[Optional[Stmt], Stmt]:
+    stmt = normalise(stmt)
+    if isinstance(stmt, Skip):
+        return None, stmt
+    if isinstance(stmt, Seq):
+        head, rest = _split_head(stmt.first)
+        if head is None:
+            return _split_head(stmt.second)
+        tail = stmt.second if isinstance(rest, Skip) else Seq(rest, stmt.second)
+        return head, tail
+    return stmt, Skip()
+
+
+def _entry_kind(stmt: Stmt) -> str:
+    if isinstance(stmt, Load):
+        return "load"
+    if isinstance(stmt, Store):
+        return "store"
+    if isinstance(stmt, Assign):
+        return "assign"
+    if isinstance(stmt, Fence):
+        return "fence"
+    if isinstance(stmt, Isb):
+        return "isb"
+    if isinstance(stmt, If):
+        return "branch"
+    raise TypeError(f"cannot fetch statement {stmt!r}")
+
+
+# ---------------------------------------------------------------------------
+# Ordering conditions
+# ---------------------------------------------------------------------------
+
+
+def _earlier_blocks_load(thread: FlatThread, index: int, addr) -> bool:
+    """May the load at ``index`` (address ``addr``) execute now?"""
+    for j, earlier in enumerate(thread.window[:index]):
+        if earlier.done:
+            continue
+        stmt = earlier.stmt
+        if earlier.kind == "fence" and isinstance(stmt, Fence):
+            if stmt.after.includes(FenceSet.R):
+                return True
+        elif earlier.kind == "isb":
+            return True
+        elif earlier.kind == "load" and isinstance(stmt, Load):
+            if stmt.kind.is_acquire:
+                return True
+            if entry_address(thread, j) == addr:
+                return True
+        elif earlier.kind == "store" and isinstance(stmt, Store):
+            if entry_address(thread, j) == addr:
+                # Handled by forwarding when data is ready; block otherwise.
+                if try_eval(stmt.data, window_regs(thread, j)) is None:
+                    return True
+    return False
+
+
+def _earlier_blocks_store(thread: FlatThread, index: int, addr, release: bool) -> bool:
+    """May the store at ``index`` propagate now?"""
+    if unresolved_branch_before(thread, index):
+        return True
+    for j, earlier in enumerate(thread.window[:index]):
+        stmt = earlier.stmt
+        if earlier.kind in ("load", "store") and entry_address(thread, j) is None and not earlier.done:
+            # Stores wait for the addresses of all po-earlier accesses.
+            return True
+        if earlier.done:
+            continue
+        if earlier.kind == "fence" and isinstance(stmt, Fence):
+            if stmt.after.includes(FenceSet.W):
+                return True
+        elif earlier.kind == "isb":
+            return True
+        elif earlier.kind == "load" and isinstance(stmt, Load):
+            if stmt.kind.is_acquire or release:
+                return True
+            if entry_address(thread, j) == addr:
+                return True
+        elif earlier.kind == "store" and isinstance(stmt, Store):
+            if release:
+                return True
+            if entry_address(thread, j) == addr:
+                return True
+    return False
+
+
+def _fence_ready(thread: FlatThread, index: int, fence: Fence) -> bool:
+    for j, earlier in enumerate(thread.window[:index]):
+        if earlier.done:
+            continue
+        if earlier.kind == "load" and fence.before.includes(FenceSet.R):
+            return False
+        if earlier.kind == "store" and fence.before.includes(FenceSet.W):
+            return False
+    return True
+
+
+def _forwarded_value(thread: FlatThread, index: int, addr):
+    """Value forwarded from the nearest earlier same-address store, if any."""
+    for j in range(index - 1, -1, -1):
+        earlier = thread.window[j]
+        if earlier.kind != "store":
+            continue
+        stmt = earlier.stmt
+        if entry_address(thread, j) != addr:
+            continue
+        return try_eval(stmt.data, window_regs(thread, j))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Transitions
+# ---------------------------------------------------------------------------
+
+
+def _retire(thread: FlatThread) -> FlatThread:
+    """Retire the completed prefix of the window into the register file."""
+    regs = thread.reg_dict()
+    window = list(thread.window)
+    while window and window[0].done:
+        entry = window.pop(0)
+        stmt = entry.stmt
+        if entry.kind in ("assign", "load") and isinstance(stmt, (Assign, Load)):
+            regs[stmt.reg] = entry.value
+        elif entry.kind == "store" and isinstance(stmt, Store):
+            if stmt.exclusive and stmt.succ_reg is not None:
+                regs[stmt.succ_reg] = VSUCC if entry.success else VFAIL
+    return replace(
+        thread, regs=tuple(sorted(regs.items())), window=tuple(window)
+    )
+
+
+def _with_thread(state: FlatState, tid: TId, thread: FlatThread) -> FlatState:
+    threads = list(state.threads)
+    threads[tid] = _retire(thread)
+    return replace(state, threads=tuple(threads))
+
+
+def _update_entry(thread: FlatThread, index: int, entry: WindowEntry) -> FlatThread:
+    window = list(thread.window)
+    window[index] = entry
+    return replace(thread, window=tuple(window))
+
+
+def successors(state: FlatState, config: FlatConfig) -> Iterator[tuple[str, FlatState]]:
+    """All transitions enabled in ``state`` (with a restart counter tag)."""
+    for tid, thread in enumerate(state.threads):
+        # ---- fetch -------------------------------------------------------
+        head, rest = _split_head(thread.continuation)
+        if head is not None and len(thread.window) < config.window_size:
+            if isinstance(head, If):
+                for taken in (True, False):
+                    branch_stmt = head.then if taken else head.orelse
+                    other_stmt = head.orelse if taken else head.then
+                    entry = WindowEntry(
+                        "branch",
+                        head,
+                        alt_continuation=normalise(Seq(other_stmt, rest)),
+                        speculated_taken=taken,
+                    )
+                    new_thread = replace(
+                        thread,
+                        window=thread.window + (entry,),
+                        continuation=normalise(Seq(branch_stmt, rest)),
+                    )
+                    yield "fetch-branch", _with_thread(state, tid, new_thread)
+            else:
+                entry = WindowEntry(_entry_kind(head), head)
+                new_thread = replace(
+                    thread, window=thread.window + (entry,), continuation=rest
+                )
+                yield "fetch", _with_thread(state, tid, new_thread)
+
+        # ---- execute / resolve -------------------------------------------
+        for index, entry in enumerate(thread.window):
+            if entry.done:
+                continue
+            stmt = entry.stmt
+            regs = window_regs(thread, index)
+
+            if entry.kind == "assign" and isinstance(stmt, Assign):
+                value = try_eval(stmt.expr, regs)
+                if value is None:
+                    continue
+                new_thread = _update_entry(thread, index, replace(entry, done=True, value=value))
+                yield "execute-assign", _with_thread(state, tid, new_thread)
+
+            elif entry.kind == "load" and isinstance(stmt, Load):
+                addr = try_eval(stmt.addr, regs)
+                if addr is None or _earlier_blocks_load(thread, index, addr):
+                    continue
+                forwarded = _forwarded_value(thread, index, addr)
+                value = forwarded if forwarded is not None else state.storage_value(addr)
+                new_thread = _update_entry(thread, index, replace(entry, done=True, value=value))
+                if stmt.exclusive:
+                    new_thread = replace(
+                        new_thread, reservation=(addr, state.storage_version(addr))
+                    )
+                yield "execute-load", _with_thread(state, tid, new_thread)
+
+            elif entry.kind == "store" and isinstance(stmt, Store):
+                addr = try_eval(stmt.addr, regs)
+                data = try_eval(stmt.data, regs)
+                if stmt.exclusive:
+                    # Failure is always possible once the entry is fetched.
+                    failed = _update_entry(
+                        thread, index, replace(entry, done=True, success=False)
+                    )
+                    failed = replace(failed, reservation=None)
+                    yield "sc-fail", _with_thread(state, tid, failed)
+                if addr is None or data is None:
+                    continue
+                release = stmt.kind.is_release
+                if _earlier_blocks_store(thread, index, addr, release):
+                    continue
+                if stmt.exclusive:
+                    reservation = thread.reservation
+                    if (
+                        reservation is None
+                        or reservation[0] != addr
+                        or state.storage_version(addr) != reservation[1]
+                    ):
+                        continue
+                    new_thread = _update_entry(
+                        thread, index, replace(entry, done=True, success=True)
+                    )
+                    new_thread = replace(new_thread, reservation=None)
+                    new_state = _with_thread(state, tid, new_thread).with_write(addr, data)
+                    yield "sc-success", new_state
+                else:
+                    new_thread = _update_entry(
+                        thread, index, replace(entry, done=True, success=True)
+                    )
+                    new_state = _with_thread(state, tid, new_thread).with_write(addr, data)
+                    yield "execute-store", new_state
+
+            elif entry.kind == "fence" and isinstance(stmt, Fence):
+                if _fence_ready(thread, index, stmt):
+                    new_thread = _update_entry(thread, index, replace(entry, done=True))
+                    yield "execute-fence", _with_thread(state, tid, new_thread)
+
+            elif entry.kind == "isb":
+                if not unresolved_branch_before(thread, index):
+                    new_thread = _update_entry(thread, index, replace(entry, done=True))
+                    yield "execute-isb", _with_thread(state, tid, new_thread)
+
+            elif entry.kind == "branch" and isinstance(stmt, If):
+                value = try_eval(stmt.cond, regs)
+                if value is None:
+                    continue
+                taken = value != 0
+                if taken == entry.speculated_taken:
+                    new_thread = _update_entry(
+                        thread, index, replace(entry, done=True, value=value)
+                    )
+                    yield "resolve-branch", _with_thread(state, tid, new_thread)
+                else:
+                    # Restart: squash the mis-speculated suffix.
+                    resolved = replace(entry, done=True, value=value, alt_continuation=None)
+                    new_thread = replace(
+                        thread,
+                        window=thread.window[:index] + (resolved,),
+                        continuation=entry.alt_continuation or Skip(),
+                    )
+                    yield "restart", _with_thread(state, tid, new_thread)
+
+
+def explore_flat(program: Program, config: Optional[FlatConfig] = None) -> FlatResult:
+    """Exhaustively enumerate outcomes under the Flat-style model."""
+    config = config or FlatConfig()
+    start = time.perf_counter()
+    stats = FlatStats()
+    prepared = program
+    if any(has_loops(t) for t in program.threads):
+        prepared = unroll_program(program, config.loop_bound)
+    init = initial_state(prepared, config.arch)
+    outcomes = OutcomeSet()
+    visited = {init}
+    stack = [init]
+    while stack:
+        state = stack.pop()
+        stats.states += 1
+        if stats.states > config.max_states:
+            stats.truncated = True
+            break
+        if state.is_final:
+            outcomes.add(state.outcome())
+            continue
+        for label, succ in successors(state, config):
+            stats.transitions += 1
+            if label == "restart":
+                stats.restarts += 1
+            if succ not in visited:
+                visited.add(succ)
+                stack.append(succ)
+    stats.elapsed_seconds = time.perf_counter() - start
+    return FlatResult(outcomes, stats, program)
+
+
+__all__ = ["FlatConfig", "FlatStats", "FlatResult", "successors", "explore_flat"]

@@ -1,0 +1,39 @@
+"""ARMv8 and RISC-V assembly front ends (the Sail-ISA-model substitute)."""
+
+from .ir import (
+    Branch,
+    IrInstr,
+    StraightLine,
+    StructurisationError,
+    ThreadIr,
+    straight_line_program,
+    structurise,
+)
+from .armv8 import Armv8ParseError
+from .riscv import RiscvParseError
+from .assembler import (
+    ThreadSource,
+    assemble_program,
+    assemble_thread,
+    assembly_line_count,
+    normalise_register,
+    parse_thread,
+)
+
+__all__ = [
+    "Branch",
+    "IrInstr",
+    "StraightLine",
+    "StructurisationError",
+    "ThreadIr",
+    "straight_line_program",
+    "structurise",
+    "Armv8ParseError",
+    "RiscvParseError",
+    "ThreadSource",
+    "assemble_program",
+    "assemble_thread",
+    "assembly_line_count",
+    "normalise_register",
+    "parse_thread",
+]

@@ -1,0 +1,301 @@
+"""ARMv8 (AArch64) user-mode assembly front end.
+
+This module stands in for the Sail ARMv8 ISA model used by the paper's
+tool: it covers the user-mode instructions that matter for concurrency —
+loads and stores of every ordering flavour, exclusives, barriers, moves,
+the ALU operations used to build dependencies, compare and branch — and
+lowers them to the calculus of :mod:`repro.lang` while preserving register
+dataflow (hence address/data/control dependencies).
+
+Supported syntax (case-insensitive, one instruction per line or separated
+by ``;``):
+
+====================  =====================================================
+``MOV Xd, #imm``      register move / immediate
+``MOV Xd, Xn``
+``ADD/SUB/AND/ORR/EOR Xd, Xn, Xm|#imm``
+``LDR Xd, [Xn]``      plain load (optionally ``[Xn, #imm]`` / ``[Xn, Xm]``)
+``LDAR Xd, [Xn]``     load acquire
+``LDAPR Xd, [Xn]``    load acquire-pc (weak acquire)
+``LDXR Xd, [Xn]``     load exclusive
+``LDAXR Xd, [Xn]``    load acquire exclusive
+``STR Xs, [Xn]``      plain store
+``STLR Xs, [Xn]``     store release
+``STXR Ws, Xt, [Xn]`` store exclusive (status register ``Ws``)
+``STLXR Ws, Xt, [Xn]`` store release exclusive
+``DMB SY|LD|ST``      barriers (``DMB ISH*`` variants accepted too)
+``ISB``
+``CMP Xn, Xm|#imm``   compare (sets the pseudo flags register)
+``B label``           unconditional branch
+``B.EQ/NE/GE/GT/LE/LT label``
+``CBZ/CBNZ Xn, label``
+``NOP``
+``label:``
+====================  =====================================================
+
+``W`` registers are treated as their ``X`` counterparts (the models are
+value-size agnostic, like the paper which excludes mixed-size accesses),
+and ``XZR``/``WZR`` reads as constant zero.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..lang.ast import Assign, Fence, Isb, Load, Skip, Stmt, Store
+from ..lang.expr import BinOp, Const, Expr, RegE
+from ..lang.kinds import FenceSet, ReadKind, WriteKind
+from .ir import Branch, StraightLine, ThreadIr
+
+class Armv8ParseError(Exception):
+    """Raised on unsupported or malformed AArch64 assembly."""
+
+
+#: Pseudo register holding the result of the last CMP/SUBS (flags model).
+FLAGS_REG = "_nzcv"
+#: Destination used for writes to the zero register (architecturally discarded).
+DISCARD_REG = "_discard"
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][A-Za-z0-9_.$]*):\s*(.*)$")
+_MEM_RE = re.compile(
+    r"^\[\s*([XWxw][0-9]+|SP|sp)\s*(?:,\s*(#?-?[0-9a-fA-Fx]+|[XWxw][0-9]+))?\s*\]$"
+)
+
+_ALU_OPS = {"ADD": "+", "SUB": "-", "AND": "&", "ORR": "|", "EOR": "^", "MUL": "*"}
+_CONDITIONS = {
+    "EQ": "==",
+    "NE": "!=",
+    "GE": ">=",
+    "GT": ">",
+    "LE": "<=",
+    "LT": "<",
+}
+_LOAD_KINDS = {
+    "LDR": (ReadKind.PLN, False),
+    "LDRB": (ReadKind.PLN, False),
+    "LDRH": (ReadKind.PLN, False),
+    "LDAR": (ReadKind.ACQ, False),
+    "LDAPR": (ReadKind.WACQ, False),
+    "LDXR": (ReadKind.PLN, True),
+    "LDAXR": (ReadKind.ACQ, True),
+}
+_STORE_KINDS = {
+    "STR": (WriteKind.PLN, False),
+    "STRB": (WriteKind.PLN, False),
+    "STRH": (WriteKind.PLN, False),
+    "STLR": (WriteKind.REL, False),
+    "STXR": (WriteKind.PLN, True),
+    "STLXR": (WriteKind.REL, True),
+}
+_DMB_KINDS = {
+    "SY": (FenceSet.RW, FenceSet.RW),
+    "ISH": (FenceSet.RW, FenceSet.RW),
+    "LD": (FenceSet.R, FenceSet.RW),
+    "ISHLD": (FenceSet.R, FenceSet.RW),
+    "ST": (FenceSet.W, FenceSet.W),
+    "ISHST": (FenceSet.W, FenceSet.W),
+}
+
+
+def normalise_register(name: str) -> str:
+    """Canonical register name: ``W5``→``X5``, ``XZR``/``WZR``→``XZR``."""
+    upper = name.upper()
+    if upper in ("XZR", "WZR"):
+        return "XZR"
+    if upper in ("SP", "WSP"):
+        raise Armv8ParseError("the stack pointer is not supported")
+    if upper[0] in ("X", "W") and upper[1:].isdigit():
+        number = int(upper[1:])
+        if not 0 <= number <= 30:
+            raise Armv8ParseError(f"register number out of range: {name}")
+        return f"X{number}"
+    raise Armv8ParseError(f"unknown register {name!r}")
+
+
+def _read_operand(text: str) -> Expr:
+    """An operand that is read: immediate ``#n`` or a register."""
+    text = text.strip()
+    if text.startswith("#"):
+        return Const(int(text[1:], 0))
+    if re.fullmatch(r"-?[0-9]+", text):
+        return Const(int(text, 0))
+    reg = normalise_register(text)
+    if reg == "XZR":
+        return Const(0)
+    return RegE(reg)
+
+
+def _dest_register(text: str) -> str:
+    reg = normalise_register(text.strip())
+    return DISCARD_REG if reg == "XZR" else reg
+
+
+def _address_expr(text: str) -> Expr:
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise Armv8ParseError(f"unsupported addressing mode {text!r}")
+    base = normalise_register(match.group(1))
+    base_expr: Expr = Const(0) if base == "XZR" else RegE(base)
+    offset = match.group(2)
+    if offset is None:
+        return base_expr
+    return BinOp("+", base_expr, _read_operand(offset))
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split operands on commas that are not inside brackets."""
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def parse_instruction(line: str) -> Optional[StraightLine | Branch]:
+    """Parse a single AArch64 instruction (already stripped of labels)."""
+    line = line.strip()
+    if not line:
+        return None
+    mnemonic, _sep, rest = line.partition(" ")
+    mnemonic = mnemonic.upper()
+    operands = _split_operands(rest) if rest.strip() else []
+
+    if mnemonic == "NOP":
+        return StraightLine(Skip(), line)
+
+    if mnemonic == "MOV":
+        if len(operands) != 2:
+            raise Armv8ParseError(f"MOV expects two operands: {line!r}")
+        return StraightLine(Assign(_dest_register(operands[0]), _read_operand(operands[1])), line)
+
+    if mnemonic in _ALU_OPS:
+        if len(operands) != 3:
+            raise Armv8ParseError(f"{mnemonic} expects three operands: {line!r}")
+        expr = BinOp(_ALU_OPS[mnemonic], _read_operand(operands[1]), _read_operand(operands[2]))
+        return StraightLine(Assign(_dest_register(operands[0]), expr), line)
+
+    if mnemonic in ("CMP", "SUBS"):
+        if mnemonic == "CMP":
+            if len(operands) != 2:
+                raise Armv8ParseError(f"CMP expects two operands: {line!r}")
+            expr = BinOp("-", _read_operand(operands[0]), _read_operand(operands[1]))
+            return StraightLine(Assign(FLAGS_REG, expr), line)
+        if len(operands) != 3:
+            raise Armv8ParseError(f"SUBS expects three operands: {line!r}")
+        expr = BinOp("-", _read_operand(operands[1]), _read_operand(operands[2]))
+        # SUBS writes both the destination and the flags.
+        return StraightLine(
+            _seq2(Assign(_dest_register(operands[0]), expr), Assign(FLAGS_REG, expr)),
+            line,
+        )
+
+    if mnemonic in _LOAD_KINDS:
+        kind, exclusive = _LOAD_KINDS[mnemonic]
+        if len(operands) != 2:
+            raise Armv8ParseError(f"{mnemonic} expects two operands: {line!r}")
+        return StraightLine(
+            Load(_dest_register(operands[0]), _address_expr(operands[1]), kind, exclusive),
+            line,
+        )
+
+    if mnemonic in _STORE_KINDS:
+        kind, exclusive = _STORE_KINDS[mnemonic]
+        if exclusive:
+            if len(operands) != 3:
+                raise Armv8ParseError(f"{mnemonic} expects three operands: {line!r}")
+            return StraightLine(
+                Store(
+                    _address_expr(operands[2]),
+                    _read_operand(operands[1]),
+                    kind,
+                    True,
+                    _dest_register(operands[0]),
+                ),
+                line,
+            )
+        if len(operands) != 2:
+            raise Armv8ParseError(f"{mnemonic} expects two operands: {line!r}")
+        return StraightLine(
+            Store(_address_expr(operands[1]), _read_operand(operands[0]), kind, False, None),
+            line,
+        )
+
+    if mnemonic == "DMB":
+        domain = (operands[0].upper() if operands else "SY")
+        if domain not in _DMB_KINDS:
+            raise Armv8ParseError(f"unsupported DMB domain {domain!r}")
+        before, after = _DMB_KINDS[domain]
+        return StraightLine(Fence(before, after), line)
+
+    if mnemonic == "ISB":
+        return StraightLine(Isb(), line)
+
+    if mnemonic == "B":
+        if len(operands) != 1:
+            raise Armv8ParseError(f"B expects a label: {line!r}")
+        return Branch(operands[0], None, line)
+
+    if mnemonic.startswith("B.") and mnemonic[2:] in _CONDITIONS:
+        if len(operands) != 1:
+            raise Armv8ParseError(f"{mnemonic} expects a label: {line!r}")
+        cond = BinOp(_CONDITIONS[mnemonic[2:]], RegE(FLAGS_REG), Const(0))
+        return Branch(operands[0], cond, line)
+
+    if mnemonic in ("CBZ", "CBNZ"):
+        if len(operands) != 2:
+            raise Armv8ParseError(f"{mnemonic} expects two operands: {line!r}")
+        op = "==" if mnemonic == "CBZ" else "!="
+        cond = BinOp(op, _read_operand(operands[0]), Const(0))
+        return Branch(operands[1], cond, line)
+
+    raise Armv8ParseError(f"unsupported AArch64 instruction {line!r}")
+
+
+def _seq2(first: Stmt, second: Stmt) -> Stmt:
+    from ..lang.ast import Seq
+
+    return Seq(first, second)
+
+
+def parse_thread(text: str) -> ThreadIr:
+    """Parse an AArch64 assembly fragment into thread IR."""
+    instructions: list[StraightLine | Branch] = []
+    labels: dict[str, int] = {}
+    for raw_line in re.split(r"[\n;]", text):
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            labels[match.group(1)] = len(instructions)
+            line = match.group(2).strip()
+        if not line:
+            continue
+        instr = parse_instruction(line)
+        if instr is not None:
+            instructions.append(instr)
+    return ThreadIr(tuple(instructions), labels, text)
+
+
+__all__ = [
+    "Armv8ParseError",
+    "FLAGS_REG",
+    "DISCARD_REG",
+    "normalise_register",
+    "parse_instruction",
+    "parse_thread",
+]

@@ -1,0 +1,260 @@
+"""RISC-V (RV64 user-mode) assembly front end.
+
+The counterpart of :mod:`repro.isa.armv8` for RISC-V, standing in for the
+Sail RISC-V ISA model: it covers the integer instructions relevant to the
+concurrency model and lowers them to the calculus, preserving register
+dataflow.
+
+Supported syntax (case-insensitive):
+
+=========================  ================================================
+``li rd, imm``             load immediate
+``mv rd, rs``              register move
+``add/sub/and/or/xor rd, rs1, rs2``
+``addi/andi/ori/xori rd, rs1, imm``
+``lw/ld rd, off(rs1)``     plain load
+``sw/sd rs2, off(rs1)``    plain store
+``lr.w/lr.d rd, (rs1)``    load reserve (``.aq``/``.aqrl`` suffixes)
+``sc.w/sc.d rd, rs2, (rs1)`` store conditional (``.rl``/``.aqrl`` suffixes)
+``fence pred, succ``       pred/succ ∈ {r, w, rw}
+``fence.tso`` / ``fence.i``
+``beq/bne/blt/bge rs1, rs2, label``
+``beqz/bnez rs, label``
+``j label``
+``nop``, ``label:``
+=========================  ================================================
+
+Register ``x0`` (``zero``) reads as constant zero; ABI register names are
+accepted and normalised to their ``x<n>`` form.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..lang.ast import Assign, Fence, Load, Seq, Skip, Store
+from ..lang.expr import BinOp, Const, Expr, RegE
+from ..lang.kinds import FenceSet, ReadKind, WriteKind
+from .ir import Branch, StraightLine, ThreadIr
+
+class RiscvParseError(Exception):
+    """Raised on unsupported or malformed RISC-V assembly."""
+
+
+#: Destination used for writes to ``x0`` (architecturally discarded).
+DISCARD_REG = "_discard"
+
+_ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+    "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][A-Za-z0-9_.$]*):\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?[0-9a-fA-Fx]*)\s*\(\s*([A-Za-z0-9]+)\s*\)$")
+
+_ALU_REG_OPS = {"add": "+", "sub": "-", "and": "&", "or": "|", "xor": "^", "mul": "*"}
+_ALU_IMM_OPS = {"addi": "+", "andi": "&", "ori": "|", "xori": "^"}
+_FENCE_SETS = {"r": FenceSet.R, "w": FenceSet.W, "rw": FenceSet.RW}
+_BRANCH_OPS = {"beq": "==", "bne": "!=", "blt": "<", "bge": ">=", "bgt": ">", "ble": "<="}
+
+
+def normalise_register(name: str) -> str:
+    """Canonical register name: ``a0``→``x10``, ``zero``→``x0``."""
+    lower = name.lower()
+    if lower in _ABI_NAMES:
+        return f"x{_ABI_NAMES[lower]}"
+    if lower.startswith("x") and lower[1:].isdigit():
+        number = int(lower[1:])
+        if not 0 <= number <= 31:
+            raise RiscvParseError(f"register number out of range: {name}")
+        return f"x{number}"
+    raise RiscvParseError(f"unknown register {name!r}")
+
+
+def _read_register(name: str) -> Expr:
+    reg = normalise_register(name)
+    return Const(0) if reg == "x0" else RegE(reg)
+
+
+def _dest_register(name: str) -> str:
+    reg = normalise_register(name)
+    return DISCARD_REG if reg == "x0" else reg
+
+
+def _immediate(text: str) -> int:
+    return int(text.strip(), 0)
+
+
+def _address_expr(text: str) -> Expr:
+    text = text.strip()
+    match = _MEM_RE.match(text)
+    if match:
+        offset_text = match.group(1)
+        base = _read_register(match.group(2))
+        offset = _immediate(offset_text) if offset_text else 0
+        return base if offset == 0 else BinOp("+", base, Const(offset))
+    if text.startswith("(") and text.endswith(")"):
+        return _read_register(text[1:-1])
+    return _read_register(text)
+
+
+def _amo_ordering(suffixes: list[str]) -> tuple[bool, bool]:
+    """Return (acquire, release) bits from ``.aq``/``.rl``/``.aqrl``."""
+    acquire = any(s in ("aq", "aqrl") for s in suffixes)
+    release = any(s in ("rl", "aqrl") for s in suffixes)
+    return acquire, release
+
+
+def parse_instruction(line: str) -> Optional[StraightLine | Branch]:
+    """Parse a single RISC-V instruction (already stripped of labels)."""
+    line = line.strip()
+    if not line:
+        return None
+    mnemonic, _sep, rest = line.partition(" ")
+    mnemonic = mnemonic.lower()
+    operands = [op.strip() for op in rest.split(",")] if rest.strip() else []
+
+    if mnemonic == "nop":
+        return StraightLine(Skip(), line)
+
+    if mnemonic == "li":
+        if len(operands) != 2:
+            raise RiscvParseError(f"li expects two operands: {line!r}")
+        return StraightLine(Assign(_dest_register(operands[0]), Const(_immediate(operands[1]))), line)
+
+    if mnemonic == "mv":
+        if len(operands) != 2:
+            raise RiscvParseError(f"mv expects two operands: {line!r}")
+        return StraightLine(Assign(_dest_register(operands[0]), _read_register(operands[1])), line)
+
+    if mnemonic in _ALU_REG_OPS:
+        if len(operands) != 3:
+            raise RiscvParseError(f"{mnemonic} expects three operands: {line!r}")
+        expr = BinOp(_ALU_REG_OPS[mnemonic], _read_register(operands[1]), _read_register(operands[2]))
+        return StraightLine(Assign(_dest_register(operands[0]), expr), line)
+
+    if mnemonic in _ALU_IMM_OPS:
+        if len(operands) != 3:
+            raise RiscvParseError(f"{mnemonic} expects three operands: {line!r}")
+        expr = BinOp(_ALU_IMM_OPS[mnemonic], _read_register(operands[1]), Const(_immediate(operands[2])))
+        return StraightLine(Assign(_dest_register(operands[0]), expr), line)
+
+    if mnemonic in ("lw", "ld", "lb", "lh", "lwu"):
+        if len(operands) != 2:
+            raise RiscvParseError(f"{mnemonic} expects two operands: {line!r}")
+        return StraightLine(
+            Load(_dest_register(operands[0]), _address_expr(operands[1]), ReadKind.PLN, False), line
+        )
+
+    if mnemonic in ("sw", "sd", "sb", "sh"):
+        if len(operands) != 2:
+            raise RiscvParseError(f"{mnemonic} expects two operands: {line!r}")
+        return StraightLine(
+            Store(_address_expr(operands[1]), _read_register(operands[0]), WriteKind.PLN, False, None),
+            line,
+        )
+
+    parts = mnemonic.split(".")
+    if parts[0] == "lr":
+        if len(operands) != 2:
+            raise RiscvParseError(f"{mnemonic} expects two operands: {line!r}")
+        acquire, _release = _amo_ordering(parts[2:])
+        kind = ReadKind.ACQ if acquire else ReadKind.PLN
+        return StraightLine(
+            Load(_dest_register(operands[0]), _address_expr(operands[1]), kind, True), line
+        )
+
+    if parts[0] == "sc":
+        if len(operands) != 3:
+            raise RiscvParseError(f"{mnemonic} expects three operands: {line!r}")
+        _acquire, release = _amo_ordering(parts[2:])
+        kind = WriteKind.REL if release else WriteKind.PLN
+        return StraightLine(
+            Store(
+                _address_expr(operands[2]),
+                _read_register(operands[1]),
+                kind,
+                True,
+                _dest_register(operands[0]),
+            ),
+            line,
+        )
+
+    if mnemonic == "fence.tso":
+        return StraightLine(
+            Seq(Fence(FenceSet.R, FenceSet.R), Fence(FenceSet.RW, FenceSet.W)), line
+        )
+
+    if mnemonic == "fence.i":
+        # No self-modifying code in the model: fence.i is a no-op (§A.1).
+        return StraightLine(Skip(), line)
+
+    if mnemonic == "fence":
+        if not operands:
+            before = after = FenceSet.RW
+        else:
+            if len(operands) != 2:
+                raise RiscvParseError(f"fence expects two operands: {line!r}")
+            try:
+                before = _FENCE_SETS[operands[0].lower()]
+                after = _FENCE_SETS[operands[1].lower()]
+            except KeyError as exc:
+                raise RiscvParseError(f"unsupported fence operand in {line!r}") from exc
+        return StraightLine(Fence(before, after), line)
+
+    if mnemonic in _BRANCH_OPS:
+        if len(operands) != 3:
+            raise RiscvParseError(f"{mnemonic} expects three operands: {line!r}")
+        cond = BinOp(_BRANCH_OPS[mnemonic], _read_register(operands[0]), _read_register(operands[1]))
+        return Branch(operands[2], cond, line)
+
+    if mnemonic in ("beqz", "bnez"):
+        if len(operands) != 2:
+            raise RiscvParseError(f"{mnemonic} expects two operands: {line!r}")
+        op = "==" if mnemonic == "beqz" else "!="
+        cond = BinOp(op, _read_register(operands[0]), Const(0))
+        return Branch(operands[1], cond, line)
+
+    if mnemonic == "j":
+        if len(operands) != 1:
+            raise RiscvParseError(f"j expects a label: {line!r}")
+        return Branch(operands[0], None, line)
+
+    raise RiscvParseError(f"unsupported RISC-V instruction {line!r}")
+
+
+def parse_thread(text: str) -> ThreadIr:
+    """Parse a RISC-V assembly fragment into thread IR."""
+    instructions: list[StraightLine | Branch] = []
+    labels: dict[str, int] = {}
+    for raw_line in re.split(r"[\n;]", text):
+        line = raw_line.split("#")[0].split("//")[0].strip()
+        if not line:
+            continue
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            labels[match.group(1)] = len(instructions)
+            line = match.group(2).strip()
+        if not line:
+            continue
+        instr = parse_instruction(line)
+        if instr is not None:
+            instructions.append(instr)
+    return ThreadIr(tuple(instructions), labels, text)
+
+
+__all__ = [
+    "RiscvParseError",
+    "DISCARD_REG",
+    "normalise_register",
+    "parse_instruction",
+    "parse_thread",
+]

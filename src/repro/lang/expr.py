@@ -1,0 +1,237 @@
+"""Pure expressions of the calculus (Fig. 1).
+
+Expressions are constants, registers, and binary arithmetic/comparison
+operators.  They never access memory; memory is only touched by the load
+and store statements.  The promising model evaluates expressions over a
+register file mapping each register to a *value–view* pair; the plain
+value-level evaluation used by the axiomatic model and by tests lives here
+as :func:`eval_expr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Union
+
+Value = int
+Reg = str
+
+#: Operator table shared by every interpreter of the calculus.  Comparison
+#: operators return 1/0 so they can feed conditional branches directly.
+OPERATORS: dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+}
+
+
+class Expr:
+    """Base class for pure expressions."""
+
+    __slots__ = ()
+
+    # Convenience operator overloads so tests and workloads can write
+    # ``R("r1") + 1`` instead of ``BinOp("+", RegE("r1"), Const(1))``.
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", self, to_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", to_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", self, to_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", to_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", self, to_expr(other))
+
+    def __and__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("&", self, to_expr(other))
+
+    def __or__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("|", self, to_expr(other))
+
+    def __xor__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("^", self, to_expr(other))
+
+    def eq(self, other: "ExprLike") -> "BinOp":
+        """Equality comparison (returns 1/0)."""
+        return BinOp("==", self, to_expr(other))
+
+    def ne(self, other: "ExprLike") -> "BinOp":
+        """Disequality comparison (returns 1/0)."""
+        return BinOp("!=", self, to_expr(other))
+
+    def lt(self, other: "ExprLike") -> "BinOp":
+        return BinOp("<", self, to_expr(other))
+
+    def ge(self, other: "ExprLike") -> "BinOp":
+        return BinOp(">=", self, to_expr(other))
+
+
+ExprLike = Union[Expr, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """Integer literal.  In the model constants carry view 0."""
+
+    value: Value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class RegE(Expr):
+    """Register read inside an expression."""
+
+    reg: Reg
+
+    def __repr__(self) -> str:
+        return self.reg
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """Binary operator application ``e1 op e2``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def to_expr(value: ExprLike) -> Expr:
+    """Coerce an ``int`` into :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; normalise
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError(f"cannot convert {value!r} to an expression")
+
+
+def R(name: Reg) -> RegE:
+    """Shorthand constructor for a register expression."""
+    return RegE(name)
+
+
+def eval_expr(expr: Expr, regs: Mapping[Reg, Value]) -> Value:
+    """Evaluate ``expr`` over a plain value register file.
+
+    Missing registers read as 0, mirroring the model's initial register
+    state.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, RegE):
+        return regs.get(expr.reg, 0)
+    if isinstance(expr, BinOp):
+        return OPERATORS[expr.op](
+            eval_expr(expr.left, regs), eval_expr(expr.right, regs)
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def expr_registers(expr: Expr) -> frozenset[Reg]:
+    """Set of registers syntactically occurring in ``expr``.
+
+    Syntactic occurrence is what creates dependencies in ARMv8/RISC-V:
+    ``x + (r1 - r1)`` depends on ``r1`` even though the value does not.
+    """
+    if isinstance(expr, Const):
+        return frozenset()
+    if isinstance(expr, RegE):
+        return frozenset((expr.reg,))
+    if isinstance(expr, BinOp):
+        return expr_registers(expr.left) | expr_registers(expr.right)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def expr_constants(expr: Expr) -> frozenset[Value]:
+    """Set of integer literals occurring in ``expr``."""
+    if isinstance(expr, Const):
+        return frozenset((expr.value,))
+    if isinstance(expr, RegE):
+        return frozenset()
+    if isinstance(expr, BinOp):
+        return expr_constants(expr.left) | expr_constants(expr.right)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def substitute(expr: Expr, mapping: Mapping[Reg, Expr]) -> Expr:
+    """Substitute registers by expressions (used by optimisation passes)."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, RegE):
+        return mapping.get(expr.reg, expr)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            substitute(expr.left, mapping),
+            substitute(expr.right, mapping),
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def rename_registers(expr: Expr, mapping: Mapping[Reg, Reg]) -> Expr:
+    """Rename registers in an expression."""
+    return substitute(expr, {old: RegE(new) for old, new in mapping.items()})
+
+
+def dependency_idiom(base: ExprLike, reg: Reg) -> Expr:
+    """The classic artificial-dependency idiom ``base + (reg - reg)``.
+
+    ARMv8/RISC-V treat syntactic dependencies as ordering even when the
+    value cancels out; this helper builds the address expression used
+    throughout the paper's examples.
+    """
+    return to_expr(base) + (RegE(reg) - RegE(reg))
+
+
+def iter_subexpressions(expr: Expr) -> Iterable[Expr]:
+    """Yield ``expr`` and all of its sub-expressions (pre-order)."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from iter_subexpressions(expr.left)
+        yield from iter_subexpressions(expr.right)
+
+
+__all__ = [
+    "Value",
+    "Reg",
+    "OPERATORS",
+    "Expr",
+    "Const",
+    "RegE",
+    "BinOp",
+    "ExprLike",
+    "to_expr",
+    "R",
+    "eval_expr",
+    "expr_registers",
+    "expr_constants",
+    "substitute",
+    "rename_registers",
+    "dependency_idiom",
+    "iter_subexpressions",
+]

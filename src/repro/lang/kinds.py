@@ -1,0 +1,110 @@
+"""Access kinds, fence kinds and architecture flags for the calculus.
+
+The paper's language (Fig. 1) annotates every load with a *read kind*
+(plain, weak-acquire, acquire), every store with a *write kind* (plain,
+weak-release, release) and an *exclusive* flag, and provides the RISC-V
+style two-argument fences ``fence_{K1,K2}`` from which the ARMv8 barriers
+are derived (``dmb.sy = fence_{RW,RW}`` and so on).
+
+The orderings used by the model rules (``rk ⊒ acq``, ``wk ⊒ wrel``,
+``R ⊑ K1`` ...) are exposed here as small helper methods so the semantics
+in :mod:`repro.promising` reads exactly like Fig. 5 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Arch(enum.Enum):
+    """Target architecture flag (the ``a`` parameter of the full model).
+
+    The ARM and RISC-V variants of Promising share all rules except the
+    treatment of store-exclusive success registers and of forwarding from
+    exclusive writes (rules ρ12/ρ13 in §A of the paper).
+    """
+
+    ARM = "ARM"
+    RISCV = "RISC-V"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ReadKind(enum.IntEnum):
+    """Read kinds: plain ⊑ weak-acquire ⊑ acquire.
+
+    ``IntEnum`` ordering implements the ⊑ lattice used by the read rule
+    (``rk ⊒ wacq`` enables acquire behaviour, ``rk ⊒ acq`` additionally
+    orders the load after earlier strong releases).
+    """
+
+    PLN = 0
+    WACQ = 1
+    ACQ = 2
+
+    @property
+    def is_acquire(self) -> bool:
+        """True for both weak and strong acquires (``rk ⊒ wacq``)."""
+        return self >= ReadKind.WACQ
+
+    @property
+    def is_strong_acquire(self) -> bool:
+        """True only for strong acquires (``rk ⊒ acq``)."""
+        return self >= ReadKind.ACQ
+
+
+class WriteKind(enum.IntEnum):
+    """Write kinds: plain ⊑ weak-release ⊑ release."""
+
+    PLN = 0
+    WREL = 1
+    REL = 2
+
+    @property
+    def is_release(self) -> bool:
+        """True for both weak and strong releases (``wk ⊒ wrel``)."""
+        return self >= WriteKind.WREL
+
+    @property
+    def is_strong_release(self) -> bool:
+        """True only for strong releases (``wk ⊒ rel``)."""
+        return self >= WriteKind.REL
+
+
+class FenceSet(enum.Flag):
+    """Operand of the two-argument fence: reads, writes or both.
+
+    ``K ⊑ K'`` is flag containment; e.g. ``R ⊑ RW`` holds.
+    """
+
+    NONE = 0
+    R = enum.auto()
+    W = enum.auto()
+    RW = R | W
+
+    def includes(self, other: "FenceSet") -> bool:
+        """Return ``other ⊑ self`` (set containment on {R, W})."""
+        return (self & other) == other
+
+
+#: Success value written to the status register of a successful store
+#: exclusive (the ARM convention: zero signals success).
+VSUCC = 0
+
+#: Failure value written by a failed store exclusive.
+VFAIL = 1
+
+#: Initial value held by every memory location before any write.
+VINIT = 0
+
+
+__all__ = [
+    "Arch",
+    "ReadKind",
+    "WriteKind",
+    "FenceSet",
+    "VSUCC",
+    "VFAIL",
+    "VINIT",
+]

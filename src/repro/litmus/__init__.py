@@ -1,0 +1,65 @@
+"""Litmus tests: conditions, catalogue, generators, runners."""
+
+from .conditions import (
+    And,
+    Condition,
+    MemEq,
+    Not,
+    Or,
+    RegEq,
+    TrueCond,
+    cond_and,
+    cond_or,
+    parse_condition,
+)
+from .test import LitmusTest, Verdict, allowed
+from .catalogue import all_tests, get_test, tests_by_name
+from .generators import (
+    Linkage,
+    generate_battery,
+    generate_lb,
+    generate_mp,
+    generate_s,
+    generate_sb,
+    generate_wrc,
+)
+from .runner import (
+    AgreementReport,
+    RunResult,
+    check_agreement,
+    run_axiomatic,
+    run_flat,
+    run_promising,
+)
+
+__all__ = [
+    "And",
+    "Condition",
+    "MemEq",
+    "Not",
+    "Or",
+    "RegEq",
+    "TrueCond",
+    "cond_and",
+    "cond_or",
+    "parse_condition",
+    "LitmusTest",
+    "Verdict",
+    "allowed",
+    "all_tests",
+    "get_test",
+    "tests_by_name",
+    "Linkage",
+    "generate_battery",
+    "generate_lb",
+    "generate_mp",
+    "generate_s",
+    "generate_sb",
+    "generate_wrc",
+    "AgreementReport",
+    "RunResult",
+    "check_agreement",
+    "run_axiomatic",
+    "run_flat",
+    "run_promising",
+]

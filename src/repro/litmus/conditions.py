@@ -1,0 +1,264 @@
+"""Final-state conditions of litmus tests.
+
+A litmus test ends with a condition such as ``exists (1:r1=42 /\\ x=0)``:
+a propositional formula over final register values (``tid:reg=value``) and
+final memory values (``location=value``).  The condition AST here mirrors
+that, evaluates over :class:`repro.outcomes.Outcome`, and can be parsed
+from the textual syntax used by herd-style litmus files.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..lang.expr import Reg, Value
+from ..lang.program import Loc, TId
+from ..outcomes import Outcome
+
+
+class Condition:
+    """Base class of final-state conditions."""
+
+    def holds(self, outcome: Outcome) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # Convenience connectives.
+    def __and__(self, other: "Condition") -> "Condition":
+        return And((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or((self, other))
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+    # Introspection used by the runners to decide which registers and
+    # locations are observable.
+    def registers(self) -> set[tuple[TId, Reg]]:
+        return set()
+
+    def locations(self) -> set[Loc]:
+        return set()
+
+
+@dataclass(frozen=True)
+class RegEq(Condition):
+    """``tid:reg = value``."""
+
+    tid: TId
+    reg: Reg
+    value: Value
+
+    def holds(self, outcome: Outcome) -> bool:
+        return outcome.reg(self.tid, self.reg) == self.value
+
+    def registers(self) -> set[tuple[TId, Reg]]:
+        return {(self.tid, self.reg)}
+
+    def __repr__(self) -> str:
+        return f"{self.tid}:{self.reg}={self.value}"
+
+
+@dataclass(frozen=True)
+class MemEq(Condition):
+    """``location = value`` (final memory value)."""
+
+    loc: Loc
+    value: Value
+    name: str = ""
+
+    def holds(self, outcome: Outcome) -> bool:
+        return outcome.mem(self.loc) == self.value
+
+    def locations(self) -> set[Loc]:
+        return {self.loc}
+
+    def __repr__(self) -> str:
+        return f"{self.name or self.loc}={self.value}"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    parts: tuple[Condition, ...]
+
+    def holds(self, outcome: Outcome) -> bool:
+        return all(part.holds(outcome) for part in self.parts)
+
+    def registers(self) -> set[tuple[TId, Reg]]:
+        return set().union(*(p.registers() for p in self.parts)) if self.parts else set()
+
+    def locations(self) -> set[Loc]:
+        return set().union(*(p.locations() for p in self.parts)) if self.parts else set()
+
+    def __repr__(self) -> str:
+        return " /\\ ".join(repr(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    parts: tuple[Condition, ...]
+
+    def holds(self, outcome: Outcome) -> bool:
+        return any(part.holds(outcome) for part in self.parts)
+
+    def registers(self) -> set[tuple[TId, Reg]]:
+        return set().union(*(p.registers() for p in self.parts)) if self.parts else set()
+
+    def locations(self) -> set[Loc]:
+        return set().union(*(p.locations() for p in self.parts)) if self.parts else set()
+
+    def __repr__(self) -> str:
+        return "(" + " \\/ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    part: Condition
+
+    def holds(self, outcome: Outcome) -> bool:
+        return not self.part.holds(outcome)
+
+    def registers(self) -> set[tuple[TId, Reg]]:
+        return self.part.registers()
+
+    def locations(self) -> set[Loc]:
+        return self.part.locations()
+
+    def __repr__(self) -> str:
+        return f"~({self.part!r})"
+
+
+@dataclass(frozen=True)
+class TrueCond(Condition):
+    """The trivially true condition."""
+
+    def holds(self, outcome: Outcome) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+def cond_and(*parts: Condition) -> Condition:
+    """N-ary conjunction (empty conjunction is true)."""
+    if not parts:
+        return TrueCond()
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+def cond_or(*parts: Condition) -> Condition:
+    """N-ary disjunction."""
+    if not parts:
+        return Not(TrueCond())
+    if len(parts) == 1:
+        return parts[0]
+    return Or(tuple(parts))
+
+
+# ---------------------------------------------------------------------------
+# Textual syntax:  1:r1=42 /\ (x=0 \/ ~(0:r2=1))
+# ---------------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<lpar>\()|(?P<rpar>\))|(?P<and>/\\|&&)|(?P<or>\\/|\|\|)"
+    r"|(?P<not>~|not\b)|(?P<atom>[A-Za-z0-9_\[\]]+\s*:\s*[A-Za-z0-9_\[\]]+\s*=\s*-?\d+"
+    r"|[A-Za-z_][A-Za-z0-9_\[\]]*\s*=\s*-?\d+))"
+)
+
+
+def parse_condition(
+    text: str, locations: Optional[Mapping[str, Loc]] = None
+) -> Condition:
+    """Parse the herd-style condition syntax.
+
+    ``locations`` maps symbolic location names to addresses; it is required
+    whenever the condition mentions memory locations.
+    """
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if not match:
+            if text[pos:].strip() == "":
+                break
+            raise ValueError(f"cannot tokenise condition at: {text[pos:]!r}")
+        pos = match.end()
+        for name in ("lpar", "rpar", "and", "or", "not", "atom"):
+            if match.group(name) is not None:
+                tokens.append((name, match.group(name)))
+                break
+
+    def parse_atom(token: str) -> Condition:
+        token = token.strip()
+        left, _eq, value = token.partition("=")
+        value = int(value)
+        if ":" in left:
+            tid_text, _c, reg = left.partition(":")
+            return RegEq(int(tid_text), reg.strip(), value)
+        name = left.strip()
+        if locations is None or name not in locations:
+            raise ValueError(f"unknown location {name!r} in condition")
+        return MemEq(locations[name], value, name)
+
+    index = 0
+
+    def parse_or() -> Condition:
+        nonlocal index
+        left = parse_and()
+        while index < len(tokens) and tokens[index][0] == "or":
+            index += 1
+            left = Or((left, parse_and()))
+        return left
+
+    def parse_and() -> Condition:
+        nonlocal index
+        left = parse_unary()
+        while index < len(tokens) and tokens[index][0] == "and":
+            index += 1
+            left = And((left, parse_unary()))
+        return left
+
+    def parse_unary() -> Condition:
+        nonlocal index
+        if index >= len(tokens):
+            raise ValueError("unexpected end of condition")
+        kind, value = tokens[index]
+        if kind == "not":
+            index += 1
+            return Not(parse_unary())
+        if kind == "lpar":
+            index += 1
+            inner = parse_or()
+            if index >= len(tokens) or tokens[index][0] != "rpar":
+                raise ValueError("missing closing parenthesis in condition")
+            index += 1
+            return inner
+        if kind == "atom":
+            index += 1
+            return parse_atom(value)
+        raise ValueError(f"unexpected token {value!r} in condition")
+
+    if not tokens:
+        return TrueCond()
+    result = parse_or()
+    if index != len(tokens):
+        raise ValueError(f"trailing tokens in condition: {tokens[index:]}")
+    return result
+
+
+__all__ = [
+    "Condition",
+    "RegEq",
+    "MemEq",
+    "And",
+    "Or",
+    "Not",
+    "TrueCond",
+    "cond_and",
+    "cond_or",
+    "parse_condition",
+]

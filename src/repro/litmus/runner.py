@@ -1,0 +1,191 @@
+"""Running litmus tests under the models and comparing the results.
+
+The runner wires a :class:`~repro.litmus.test.LitmusTest` to one of the
+three implementations (promising, axiomatic, flat), taking care of the
+projection onto the observables mentioned by the test condition, and of
+keeping condition-observed locations shared when the promising explorer's
+local-location optimisation is enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..lang.kinds import Arch
+from ..outcomes import OutcomeSet
+from ..promising.exhaustive import ExploreConfig, explore, explore_naive
+from ..axiomatic.model import AxiomaticConfig, enumerate_axiomatic_outcomes
+from .test import LitmusTest, Verdict
+
+
+@dataclass
+class RunResult:
+    """Result of running one litmus test under one model."""
+
+    test: LitmusTest
+    model: str
+    arch: Arch
+    outcomes: OutcomeSet
+    verdict: Verdict
+    expected: Optional[Verdict]
+    elapsed_seconds: float
+
+    @property
+    def matches_expectation(self) -> Optional[bool]:
+        if self.expected is None:
+            return None
+        return self.verdict is self.expected
+
+    def describe(self) -> str:
+        expectation = (
+            "?" if self.expected is None else ("ok" if self.matches_expectation else "MISMATCH")
+        )
+        return (
+            f"{self.test.name:28s} {self.model:10s} {self.arch.value:7s} "
+            f"{self.verdict.value:9s} [{expectation}] {self.elapsed_seconds:.3f}s"
+        )
+
+
+def _projected(test: LitmusTest, outcomes: OutcomeSet) -> OutcomeSet:
+    regs = {tid: sorted(names) for tid, names in test.observable_registers().items()}
+    locs = sorted(test.observable_locations())
+    return outcomes.project(regs, locs)
+
+
+def run_promising(
+    test: LitmusTest,
+    arch: Arch = Arch.ARM,
+    config: Optional[ExploreConfig] = None,
+    naive: bool = False,
+) -> RunResult:
+    """Run a litmus test under the promising exhaustive explorer."""
+    base = config or ExploreConfig()
+    cfg = ExploreConfig(
+        arch=arch,
+        loop_bound=base.loop_bound,
+        cert_fuel=base.cert_fuel,
+        max_states=base.max_states,
+        localise=base.localise,
+        shared_locations=tuple(sorted(set(base.shared_locations) | test.observable_locations())),
+    )
+    start = time.perf_counter()
+    result = (explore_naive if naive else explore)(test.program, cfg)
+    elapsed = time.perf_counter() - start
+    outcomes = _projected(test, result.outcomes)
+    return RunResult(
+        test=test,
+        model="promising-naive" if naive else "promising",
+        arch=arch,
+        outcomes=outcomes,
+        verdict=test.evaluate(outcomes),
+        expected=test.expected_verdict(arch),
+        elapsed_seconds=elapsed,
+    )
+
+
+def run_axiomatic(
+    test: LitmusTest,
+    arch: Arch = Arch.ARM,
+    config: Optional[AxiomaticConfig] = None,
+) -> RunResult:
+    """Run a litmus test under the axiomatic enumerator (the herd role)."""
+    base = config or AxiomaticConfig()
+    cfg = AxiomaticConfig(
+        arch=arch,
+        loop_bound=base.loop_bound,
+        max_preexec_states=base.max_preexec_states,
+        max_candidates=base.max_candidates,
+        domain_iterations=base.domain_iterations,
+    )
+    start = time.perf_counter()
+    result = enumerate_axiomatic_outcomes(test.program, cfg)
+    elapsed = time.perf_counter() - start
+    outcomes = _projected(test, result.outcomes)
+    return RunResult(
+        test=test,
+        model="axiomatic",
+        arch=arch,
+        outcomes=outcomes,
+        verdict=test.evaluate(outcomes),
+        expected=test.expected_verdict(arch),
+        elapsed_seconds=elapsed,
+    )
+
+
+def run_flat(test: LitmusTest, arch: Arch = Arch.ARM, **kwargs) -> RunResult:
+    """Run a litmus test under the Flat-style baseline model."""
+    from ..flat.explorer import FlatConfig, explore_flat
+
+    start = time.perf_counter()
+    result = explore_flat(test.program, FlatConfig(arch=arch, **kwargs))
+    elapsed = time.perf_counter() - start
+    outcomes = _projected(test, result.outcomes)
+    return RunResult(
+        test=test,
+        model="flat",
+        arch=arch,
+        outcomes=outcomes,
+        verdict=test.evaluate(outcomes),
+        expected=test.expected_verdict(arch),
+        elapsed_seconds=elapsed,
+    )
+
+
+@dataclass
+class AgreementReport:
+    """Summary of a model-vs-model litmus agreement run (§7)."""
+
+    total: int = 0
+    agreeing: int = 0
+    disagreements: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def agreement_rate(self) -> float:
+        return self.agreeing / self.total if self.total else 1.0
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.agreeing}/{self.total} tests agree "
+            f"({self.agreement_rate * 100:.1f}%) in {self.elapsed_seconds:.1f}s"
+        ]
+        lines.extend(f"  disagreement: {name}" for name in self.disagreements)
+        return "\n".join(lines)
+
+
+def check_agreement(
+    tests: Sequence[LitmusTest],
+    arch: Arch = Arch.ARM,
+    promising_config: Optional[ExploreConfig] = None,
+    axiomatic_config: Optional[AxiomaticConfig] = None,
+) -> AgreementReport:
+    """Compare promising and axiomatic outcome sets on a battery of tests.
+
+    This is the reproduction of the paper's experimental-equivalence check
+    (the 6,500-test ARM / 7,000-test RISC-V agreement of §7): the two
+    models must produce identical *projected* outcome sets on every test.
+    """
+    report = AgreementReport()
+    start = time.perf_counter()
+    for test in tests:
+        report.total += 1
+        promising = run_promising(test, arch, promising_config)
+        axiomatic = run_axiomatic(test, arch, axiomatic_config)
+        if set(promising.outcomes) == set(axiomatic.outcomes):
+            report.agreeing += 1
+        else:
+            report.disagreements.append(test.name)
+    report.elapsed_seconds = time.perf_counter() - start
+    return report
+
+
+__all__ = [
+    "RunResult",
+    "run_promising",
+    "run_axiomatic",
+    "run_flat",
+    "AgreementReport",
+    "check_agreement",
+]

@@ -1,0 +1,93 @@
+"""Litmus tests: a program, an interesting final-state condition, verdicts.
+
+A :class:`LitmusTest` packages a concurrent program with an ``exists``
+condition (the relaxed outcome of interest) and, optionally, the verdicts
+expected from the architecture models.  Verdicts come from the published
+ARMv8/RISC-V memory models (as reproduced in the paper's examples and the
+standard litmus literature) and are what the test-suite and the agreement
+experiment check the implementations against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..lang.kinds import Arch
+from ..lang.program import Program
+from ..outcomes import OutcomeSet
+from .conditions import Condition
+
+
+class Verdict(enum.Enum):
+    """Whether the condition's outcome is architecturally allowed."""
+
+    ALLOWED = "allowed"
+    FORBIDDEN = "forbidden"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus test."""
+
+    name: str
+    program: Program
+    condition: Condition
+    #: Expected verdict per architecture; tests without an entry for an
+    #: architecture are simply not checked against an expectation there.
+    expected: Mapping[Arch, Verdict] = field(default_factory=dict)
+    #: Free-form description (which relaxation the test probes).
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "expected", dict(self.expected))
+
+    def expected_verdict(self, arch: Arch) -> Optional[Verdict]:
+        return self.expected.get(arch)
+
+    def observable_registers(self) -> dict[int, set[str]]:
+        """Registers mentioned by the condition, grouped by thread."""
+        result: dict[int, set[str]] = {tid: set() for tid in self.program.thread_ids}
+        for tid, reg in self.condition.registers():
+            result.setdefault(tid, set()).add(reg)
+        return result
+
+    def observable_locations(self) -> set[int]:
+        """Memory locations mentioned by the condition."""
+        return set(self.condition.locations())
+
+    def evaluate(self, outcomes: OutcomeSet) -> Verdict:
+        """Verdict of a model run: is the condition satisfiable?"""
+        observed = outcomes.any_satisfies(self.condition.holds)
+        return Verdict.ALLOWED if observed else Verdict.FORBIDDEN
+
+    def matches_expectation(self, outcomes: OutcomeSet, arch: Arch) -> Optional[bool]:
+        """Compare a model run against the expected verdict (None if unknown)."""
+        expected = self.expected_verdict(arch)
+        if expected is None:
+            return None
+        return self.evaluate(outcomes) is expected
+
+    def __repr__(self) -> str:
+        return f"LitmusTest({self.name!r}, {self.program.n_threads} threads)"
+
+
+def allowed(arm: bool = True, riscv: Optional[bool] = None) -> dict[Arch, Verdict]:
+    """Helper building the expected-verdict map.
+
+    ``allowed()`` means allowed on both architectures, ``allowed(False)``
+    means forbidden on both; pass ``riscv=`` when the verdicts differ.
+    """
+    if riscv is None:
+        riscv = arm
+    return {
+        Arch.ARM: Verdict.ALLOWED if arm else Verdict.FORBIDDEN,
+        Arch.RISCV: Verdict.ALLOWED if riscv else Verdict.FORBIDDEN,
+    }
+
+
+__all__ = ["Verdict", "LitmusTest", "allowed"]

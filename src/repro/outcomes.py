@@ -1,0 +1,164 @@
+"""Execution outcomes shared by all models.
+
+An :class:`Outcome` is what a programmer observes of a finished execution:
+the final register state of every thread and the final value of every
+memory location.  All three models (promising, axiomatic, flat) report
+sets of outcomes, which makes cross-model comparison and litmus-condition
+checking uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from .lang.expr import Reg, Value
+from .lang.program import Loc, TId
+
+RegAssignment = tuple[tuple[Reg, Value], ...]
+
+
+def _freeze_regs(regs: Mapping[Reg, Value]) -> RegAssignment:
+    return tuple(sorted(regs.items()))
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Final state of one complete execution."""
+
+    registers: tuple[RegAssignment, ...]
+    memory: tuple[tuple[Loc, Value], ...]
+
+    @classmethod
+    def make(
+        cls,
+        registers: Sequence[Mapping[Reg, Value]],
+        memory: Mapping[Loc, Value],
+    ) -> "Outcome":
+        return cls(
+            tuple(_freeze_regs(regs) for regs in registers),
+            tuple(sorted(memory.items())),
+        )
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def n_threads(self) -> int:
+        return len(self.registers)
+
+    def reg(self, tid: TId, name: Reg, default: Value = 0) -> Value:
+        """Final value of register ``name`` on thread ``tid``."""
+        for reg, value in self.registers[tid]:
+            if reg == name:
+                return value
+        return default
+
+    def regs_of(self, tid: TId) -> dict[Reg, Value]:
+        return dict(self.registers[tid])
+
+    def mem(self, loc: Loc, default: Value = 0) -> Value:
+        """Final value of memory location ``loc``."""
+        for location, value in self.memory:
+            if location == loc:
+                return value
+        return default
+
+    def memory_dict(self) -> dict[Loc, Value]:
+        return dict(self.memory)
+
+    # -- projections ---------------------------------------------------------
+    def project(
+        self,
+        registers: Optional[Mapping[TId, Iterable[Reg]]] = None,
+        locations: Optional[Iterable[Loc]] = None,
+    ) -> "Outcome":
+        """Restrict the outcome to the given observables.
+
+        Projections are what makes outcome sets from different models (or
+        from the same model with and without the local-location
+        optimisation) comparable: models may use different scratch
+        registers, but must agree on the observables.
+        """
+        regs: list[dict[Reg, Value]] = []
+        for tid in range(self.n_threads):
+            if registers is None:
+                regs.append(self.regs_of(tid))
+            else:
+                wanted = set(registers.get(tid, ()))
+                regs.append({r: self.reg(tid, r) for r in wanted})
+        if locations is None:
+            memory = self.memory_dict()
+        else:
+            memory = {loc: self.mem(loc) for loc in locations}
+        return Outcome.make(regs, memory)
+
+    def describe(self, loc_names: Optional[Mapping[Loc, str]] = None) -> str:
+        parts = []
+        for tid, regs in enumerate(self.registers):
+            for reg, value in regs:
+                if reg.startswith("_"):
+                    continue
+                parts.append(f"{tid}:{reg}={value}")
+        for loc, value in self.memory:
+            name = (loc_names or {}).get(loc, f"[{loc}]")
+            parts.append(f"{name}={value}")
+        return " ".join(parts) if parts else "<empty>"
+
+    def __repr__(self) -> str:
+        return f"Outcome({self.describe()})"
+
+
+class OutcomeSet:
+    """A set of outcomes with convenience queries and set semantics."""
+
+    def __init__(self, outcomes: Iterable[Outcome] = ()) -> None:
+        self._outcomes: set[Outcome] = set(outcomes)
+
+    def add(self, outcome: Outcome) -> None:
+        self._outcomes.add(outcome)
+
+    def __iter__(self) -> Iterator[Outcome]:
+        return iter(self._outcomes)
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __contains__(self, outcome: Outcome) -> bool:
+        return outcome in self._outcomes
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OutcomeSet):
+            return self._outcomes == other._outcomes
+        if isinstance(other, (set, frozenset)):
+            return self._outcomes == other
+        return NotImplemented
+
+    def __bool__(self) -> bool:
+        return bool(self._outcomes)
+
+    def project(
+        self,
+        registers: Optional[Mapping[TId, Iterable[Reg]]] = None,
+        locations: Optional[Iterable[Loc]] = None,
+    ) -> "OutcomeSet":
+        return OutcomeSet(o.project(registers, locations) for o in self._outcomes)
+
+    def any_satisfies(self, predicate) -> bool:
+        """Does any outcome satisfy ``predicate`` (a callable on outcomes)?"""
+        return any(predicate(o) for o in self._outcomes)
+
+    def all_satisfy(self, predicate) -> bool:
+        """Do all outcomes satisfy ``predicate``?"""
+        return all(predicate(o) for o in self._outcomes)
+
+    def filter(self, predicate) -> "OutcomeSet":
+        return OutcomeSet(o for o in self._outcomes if predicate(o))
+
+    def describe(self, loc_names: Optional[Mapping[Loc, str]] = None) -> str:
+        lines = [o.describe(loc_names) for o in self._outcomes]
+        return "\n".join(sorted(lines))
+
+    def __repr__(self) -> str:
+        return f"OutcomeSet({len(self._outcomes)} outcomes)"
+
+
+__all__ = ["Outcome", "OutcomeSet", "RegAssignment"]

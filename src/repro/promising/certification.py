@@ -1,0 +1,230 @@
+"""Certification and promise enumeration (§4.3, §B, Theorem 6.4).
+
+A thread configuration ⟨T, M⟩ is *certified* when the thread, executing
+sequentially (alone, with every new promise immediately fulfilled), can
+reach a state with no outstanding promises.  The machine only takes steps
+that lead to certified configurations.
+
+:func:`find_and_certify` is the algorithmic counterpart used by the
+executable tool: starting from a certified configuration it returns the
+set of promise messages whose addition keeps the configuration certified
+(exactly the promises the machine should offer, per Theorem 6.4), by
+enumerating the thread's bounded sequential executions and harvesting the
+writes whose pre-view and coherence view do not exceed the current
+maximal timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang.ast import Stmt
+from ..lang.kinds import Arch
+from ..lang.program import TId
+from .state import Memory, Msg, TState
+from .steps import (
+    ThreadStep,
+    is_terminated,
+    non_promise_steps,
+    sequential_steps,
+)
+
+#: Default bound on the number of sequential states a single certification
+#: run may visit.  Certification explores one thread in isolation, so this
+#: is rarely reached except for programs with unbounded loops.
+DEFAULT_FUEL = 4000
+
+
+@dataclass(frozen=True)
+class CertificationResult:
+    """Result of :func:`find_and_certify`.
+
+    Attributes
+    ----------
+    certified:
+        Whether the configuration itself can fulfil all its promises.
+    promises:
+        Messages that may be promised next while staying certified.
+    complete:
+        False when the sequential search was truncated by ``fuel``; in
+        that case ``certified``/``promises`` are under-approximations
+        (sound for exploration, possibly missing behaviours).
+    visited:
+        Number of sequential states visited (for diagnostics/benchmarks).
+    """
+
+    certified: bool
+    promises: frozenset[Msg]
+    complete: bool
+    visited: int
+
+
+def _state_key(stmt: Stmt, ts: TState, memory: Memory) -> tuple:
+    return (stmt, ts.key(), memory.key())
+
+
+class _SequentialGraph:
+    """Bounded exploration of one thread's sequential executions.
+
+    Nodes are thread configurations reachable by sequential steps; edges
+    remember the write performed (if any) so promise candidates can be
+    harvested afterwards.
+    """
+
+    def __init__(self, arch: Arch, tid: TId, fuel: int) -> None:
+        self.arch = arch
+        self.tid = tid
+        self.fuel = fuel
+        self.nodes: dict[tuple, tuple[Stmt, TState, Memory]] = {}
+        self.edges: dict[tuple, list[tuple[tuple, Optional[ThreadStep]]]] = {}
+        self.fulfilled: set[tuple] = set()
+        self.complete = True
+
+    def build(self, stmt: Stmt, ts: TState, memory: Memory) -> tuple:
+        root = _state_key(stmt, ts, memory)
+        stack = [(root, stmt, ts, memory)]
+        self.nodes[root] = (stmt, ts, memory)
+        while stack:
+            key, stmt, ts, memory = stack.pop()
+            if key in self.edges:
+                continue
+            if not ts.prom:
+                self.fulfilled.add(key)
+            if len(self.nodes) >= self.fuel:
+                # Truncated: leave this node unexpanded.
+                self.edges[key] = []
+                self.complete = False
+                continue
+            successors: list[tuple[tuple, Optional[ThreadStep]]] = []
+            for step in sequential_steps(stmt, ts, memory, self.arch, self.tid):
+                succ_key = _state_key(step.stmt, step.tstate, step.memory)
+                successors.append((succ_key, step if step.kind == "write" else None))
+                if succ_key not in self.nodes:
+                    self.nodes[succ_key] = (step.stmt, step.tstate, step.memory)
+                    stack.append((succ_key, step.stmt, step.tstate, step.memory))
+            self.edges[key] = successors
+        return root
+
+    def can_reach_fulfilled(self) -> set[tuple]:
+        """Keys of nodes from which a promise-free state is reachable."""
+        # Backward reachability over the explored graph.
+        predecessors: dict[tuple, list[tuple]] = {key: [] for key in self.nodes}
+        for src, succs in self.edges.items():
+            for dst, _step in succs:
+                predecessors.setdefault(dst, []).append(src)
+        good = set(self.fulfilled)
+        worklist = list(self.fulfilled)
+        while worklist:
+            node = worklist.pop()
+            for pred in predecessors.get(node, ()):
+                if pred not in good:
+                    good.add(pred)
+                    worklist.append(pred)
+        return good
+
+
+def certified(
+    stmt: Stmt,
+    ts: TState,
+    memory: Memory,
+    arch: Arch,
+    tid: TId,
+    fuel: int = DEFAULT_FUEL,
+) -> bool:
+    """Is the thread configuration certified (rule r24)?
+
+    A configuration with no outstanding promises is trivially certified;
+    otherwise we search the thread's sequential executions for a state
+    with an empty promise set.
+    """
+    if not ts.prom:
+        return True
+    graph = _SequentialGraph(arch, tid, fuel)
+    root = graph.build(stmt, ts, memory)
+    return root in graph.can_reach_fulfilled()
+
+
+def find_and_certify(
+    stmt: Stmt,
+    ts: TState,
+    memory: Memory,
+    arch: Arch,
+    tid: TId,
+    fuel: int = DEFAULT_FUEL,
+) -> CertificationResult:
+    """Enumerate the certified promise steps of a thread (§B).
+
+    The algorithm:
+
+    1. enumerate the thread's sequential executions under the current
+       memory (bounded by ``fuel``);
+    2. keep only execution prefixes from which a promise-free state
+       remains reachable;
+    3. every normal write performed on such a prefix whose pre-view and
+       coherence view (at its location, before the write) are at most the
+       current maximal timestamp is a legal promise.
+    """
+    max_ts = memory.last_timestamp
+    graph = _SequentialGraph(arch, tid, fuel)
+    root = graph.build(stmt, ts, memory)
+    good = graph.can_reach_fulfilled()
+    promises: set[Msg] = set()
+    for src, succs in graph.edges.items():
+        if src not in good:
+            continue
+        for dst, step in succs:
+            if step is None or dst not in good:
+                continue
+            if step.pre_view is None or step.coh_before is None:
+                continue
+            if step.pre_view <= max_ts and step.coh_before <= max_ts:
+                promises.add(Msg(step.loc, step.value, tid))
+    return CertificationResult(
+        certified=root in good,
+        promises=frozenset(promises),
+        complete=graph.complete,
+        visited=len(graph.nodes),
+    )
+
+
+def can_complete_without_promising(
+    stmt: Stmt,
+    ts: TState,
+    memory: Memory,
+    arch: Arch,
+    tid: TId,
+    fuel: int = DEFAULT_FUEL,
+) -> bool:
+    """Can the thread terminate, fulfilling all promises, with memory fixed?
+
+    Used by the exhaustive explorer to decide when promise-mode may end:
+    every remaining step must be a non-promise step (no new messages), the
+    statement must reduce to ``skip`` and the promise set must drain.
+    """
+    seen: set[tuple] = set()
+    stack = [(stmt, ts)]
+    visited = 0
+    while stack:
+        cur_stmt, cur_ts = stack.pop()
+        key = (cur_stmt, cur_ts.key())
+        if key in seen:
+            continue
+        seen.add(key)
+        visited += 1
+        if visited > fuel:
+            return False
+        if is_terminated(cur_stmt) and not cur_ts.prom:
+            return True
+        for step in non_promise_steps(cur_stmt, cur_ts, memory, arch, tid):
+            stack.append((step.stmt, step.tstate))
+    return False
+
+
+__all__ = [
+    "DEFAULT_FUEL",
+    "CertificationResult",
+    "certified",
+    "find_and_certify",
+    "can_complete_without_promising",
+]

@@ -1,0 +1,325 @@
+"""Exhaustive exploration of Promising-ARM/RISC-V executions (§7).
+
+Two explorers are provided:
+
+* :func:`explore` — the paper's optimised strategy.  By Theorem 7.1 every
+  trace can be reordered so that all promises come first; the explorer
+  therefore first interleaves only (certified) promise transitions,
+  enumerating all possible *final memories*, and then lets each thread run
+  to completion independently under each fixed memory, without
+  interleaving reads.  The §7 shared-location optimisation (treating
+  locations private to one thread as registers) is applied when enabled.
+
+* :func:`explore_naive` — the unoptimised reference: a plain search over
+  all certified machine transitions (reads, writes and promises fully
+  interleaved).  It produces the same outcome set and exists for
+  cross-validation and for the ablation benchmark quantifying the value of
+  the promise-first strategy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..lang.ast import Stmt
+from ..lang.kinds import Arch
+from ..lang.program import Loc, Program, TId
+from ..lang.transform import localise_private_locations, unroll_program
+from ..lang import has_loops
+from ..outcomes import Outcome, OutcomeSet
+from .certification import (
+    DEFAULT_FUEL,
+    can_complete_without_promising,
+    find_and_certify,
+)
+from .machine import MachineState, machine_transitions
+from .state import Memory, TState, initial_tstate
+from .steps import is_terminated, non_promise_steps, normalise, promise_step
+
+
+@dataclass
+class ExploreConfig:
+    """Configuration of the exhaustive explorers."""
+
+    #: Architecture variant (ARM or RISC-V).
+    arch: Arch = Arch.ARM
+    #: Loop unrolling bound applied when the program contains loops.
+    loop_bound: int = 2
+    #: Bound on the states visited by a single certification run.
+    cert_fuel: int = DEFAULT_FUEL
+    #: Cap on promise-mode machine states (safety valve; exploration is
+    #: reported as truncated when hit).
+    max_states: int = 500_000
+    #: Apply the shared-location optimisation of §7.
+    localise: bool = True
+    #: Locations that must be kept in memory even if thread-private
+    #: (e.g. locations observed by a litmus final-state condition).
+    shared_locations: tuple[Loc, ...] = ()
+
+    def for_arch(self, arch: Arch) -> "ExploreConfig":
+        return ExploreConfig(
+            arch=arch,
+            loop_bound=self.loop_bound,
+            cert_fuel=self.cert_fuel,
+            max_states=self.max_states,
+            localise=self.localise,
+            shared_locations=self.shared_locations,
+        )
+
+
+@dataclass
+class ExplorationStats:
+    """Diagnostics collected during exploration."""
+
+    promise_states: int = 0
+    promise_transitions: int = 0
+    final_memories: int = 0
+    thread_enumeration_states: int = 0
+    deadlocked_states: int = 0
+    truncated: bool = False
+    elapsed_seconds: float = 0.0
+    localised_locations: tuple[Loc, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"promise states: {self.promise_states}, "
+            f"final memories: {self.final_memories}, "
+            f"per-thread states: {self.thread_enumeration_states}, "
+            f"deadlocks: {self.deadlocked_states}, "
+            f"truncated: {self.truncated}, "
+            f"time: {self.elapsed_seconds:.3f}s"
+        )
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome set plus statistics."""
+
+    outcomes: OutcomeSet
+    stats: ExplorationStats
+    program: Program
+
+    def describe(self) -> str:
+        header = f"{len(self.outcomes)} outcomes ({self.stats.describe()})"
+        return header + "\n" + self.outcomes.describe(self.program.loc_names)
+
+
+def _prepare(program: Program, config: ExploreConfig) -> tuple[Program, tuple[Loc, ...]]:
+    """Unroll loops and apply the shared-location optimisation."""
+    prepared = program
+    if any(has_loops(t) for t in program.threads):
+        prepared = unroll_program(prepared, config.loop_bound)
+    localised: tuple[Loc, ...] = ()
+    if config.localise:
+        prepared, private = localise_private_locations(
+            prepared, extra_shared=config.shared_locations
+        )
+        localised = tuple(sorted(private))
+    return prepared, localised
+
+
+# ---------------------------------------------------------------------------
+# Promise-first exploration
+# ---------------------------------------------------------------------------
+
+
+def _enumerate_thread_completions(
+    stmt: Stmt,
+    ts: TState,
+    memory: Memory,
+    arch: Arch,
+    tid: TId,
+    stats: ExplorationStats,
+    max_states: int,
+) -> set[tuple]:
+    """All final register states of one thread under a fixed memory.
+
+    Non-promise phase of §7: memory is fixed, so the thread's behaviour is
+    independent of the other threads; we enumerate its executions and
+    collect the register file of every run that terminates with all
+    promises fulfilled.
+    """
+    results: set[tuple] = set()
+    seen: set[tuple] = set()
+    stack: list[tuple[Stmt, TState]] = [(stmt, ts)]
+    while stack:
+        cur_stmt, cur_ts = stack.pop()
+        key = (cur_stmt, cur_ts.key())
+        if key in seen:
+            continue
+        seen.add(key)
+        stats.thread_enumeration_states += 1
+        if len(seen) > max_states:
+            stats.truncated = True
+            break
+        if is_terminated(cur_stmt) and not cur_ts.prom:
+            results.add(tuple(sorted(cur_ts.register_values().items())))
+            continue
+        for step in non_promise_steps(cur_stmt, cur_ts, memory, arch, tid):
+            stack.append((step.stmt, step.tstate))
+    return results
+
+
+def explore(program: Program, config: Optional[ExploreConfig] = None) -> ExplorationResult:
+    """Exhaustively enumerate the outcomes of ``program`` (promise-first)."""
+    config = config or ExploreConfig()
+    start = time.perf_counter()
+    stats = ExplorationStats()
+    prepared, localised = _prepare(program, config)
+    stats.localised_locations = localised
+
+    arch = config.arch
+    initial = MachineState.initial(prepared, arch)
+    outcomes = OutcomeSet()
+
+    visited: set[tuple] = set()
+    # Memoise per-thread completion enumeration across final-memory states:
+    # different promise interleavings frequently reconverge.
+    completion_cache: dict[tuple, set[tuple]] = {}
+
+    stack: list[MachineState] = [initial]
+    visited.add(initial.key())
+
+    while stack:
+        state = stack.pop()
+        stats.promise_states += 1
+        if stats.promise_states > config.max_states:
+            stats.truncated = True
+            break
+
+        per_thread = []
+        for tid, thread in enumerate(state.threads):
+            cert = find_and_certify(
+                thread.stmt, thread.tstate, state.memory, arch, tid, config.cert_fuel
+            )
+            if not cert.complete:
+                stats.truncated = True
+            per_thread.append(cert)
+
+        # Can every thread finish under the current memory without any new
+        # promise?  If so the current memory is a candidate final memory.
+        can_finish = [
+            can_complete_without_promising(
+                t.stmt, t.tstate, state.memory, arch, tid, config.cert_fuel
+            )
+            for tid, t in enumerate(state.threads)
+        ]
+        if all(can_finish):
+            stats.final_memories += 1
+            thread_results: list[set[tuple]] = []
+            feasible = True
+            for tid, thread in enumerate(state.threads):
+                cache_key = (tid, thread.key(), state.memory.key())
+                if cache_key not in completion_cache:
+                    completion_cache[cache_key] = _enumerate_thread_completions(
+                        thread.stmt,
+                        thread.tstate,
+                        state.memory,
+                        arch,
+                        tid,
+                        stats,
+                        config.max_states,
+                    )
+                regs = completion_cache[cache_key]
+                if not regs:
+                    feasible = False
+                    break
+                thread_results.append(regs)
+            if feasible:
+                final_memory = state.memory.final_values()
+                _accumulate_outcomes(outcomes, thread_results, final_memory)
+        elif not any(cert.promises for cert in per_thread):
+            # No thread can finish and nobody can promise: a stuck state
+            # (possible for ARM store exclusives, §4.3).
+            stats.deadlocked_states += 1
+
+        for tid, cert in enumerate(per_thread):
+            thread = state.threads[tid]
+            for msg in cert.promises:
+                stats.promise_transitions += 1
+                step = promise_step(thread.stmt, thread.tstate, state.memory, msg)
+                succ = state.replace_thread(tid, step)
+                key = succ.key()
+                if key not in visited:
+                    visited.add(key)
+                    stack.append(succ)
+
+    stats.elapsed_seconds = time.perf_counter() - start
+    return ExplorationResult(outcomes, stats, program)
+
+
+def _accumulate_outcomes(
+    outcomes: OutcomeSet,
+    thread_results: list[set[tuple]],
+    final_memory: dict[Loc, int],
+) -> None:
+    """Cross product of per-thread final register states → outcomes."""
+
+    def recurse(tid: int, acc: list[dict]) -> None:
+        if tid == len(thread_results):
+            outcomes.add(Outcome.make(list(acc), final_memory))
+            return
+        for regs in thread_results[tid]:
+            acc.append(dict(regs))
+            recurse(tid + 1, acc)
+            acc.pop()
+
+    recurse(0, [])
+
+
+# ---------------------------------------------------------------------------
+# Naive (fully interleaved) exploration
+# ---------------------------------------------------------------------------
+
+
+def explore_naive(
+    program: Program, config: Optional[ExploreConfig] = None
+) -> ExplorationResult:
+    """Enumerate outcomes by interleaving *all* certified machine steps.
+
+    Exponentially more states than :func:`explore`; used to validate the
+    promise-first strategy (both must return the same outcome set) and as
+    the baseline of the ablation benchmark.
+    """
+    config = config or ExploreConfig()
+    start = time.perf_counter()
+    stats = ExplorationStats()
+    prepared, localised = _prepare(program, config)
+    stats.localised_locations = localised
+
+    initial = MachineState.initial(prepared, config.arch)
+    outcomes = OutcomeSet()
+    visited: set[tuple] = {initial.key()}
+    stack = [initial]
+    while stack:
+        state = stack.pop()
+        stats.promise_states += 1
+        if stats.promise_states > config.max_states:
+            stats.truncated = True
+            break
+        if state.is_final:
+            outcomes.add(state.outcome())
+            continue
+        transitions = machine_transitions(state, config.cert_fuel)
+        if not transitions and state.has_outstanding_promises:
+            stats.deadlocked_states += 1
+        for transition in transitions:
+            stats.promise_transitions += 1
+            key = transition.state.key()
+            if key not in visited:
+                visited.add(key)
+                stack.append(transition.state)
+
+    stats.elapsed_seconds = time.perf_counter() - start
+    return ExplorationResult(outcomes, stats, program)
+
+
+__all__ = [
+    "ExploreConfig",
+    "ExplorationStats",
+    "ExplorationResult",
+    "explore",
+    "explore_naive",
+]

@@ -1,0 +1,6 @@
+"""Command-line interface and model-comparison utilities."""
+
+from .compare import ModelComparison, compare_models, observables
+from .cli import build_parser, main
+
+__all__ = ["ModelComparison", "compare_models", "observables", "build_parser", "main"]

@@ -1,0 +1,138 @@
+"""Command-line interface: ``promising-arm``.
+
+Sub-commands mirror how the paper's rmem-based tool is used:
+
+* ``run`` — exhaustively explore a litmus file (or a catalogue test) and
+  print the allowed final states;
+* ``interactive`` — step through an execution transition by transition;
+* ``catalogue`` — list the built-in litmus tests and their verdicts;
+* ``agreement`` — compare the promising and axiomatic models on the
+  generated litmus battery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..lang.kinds import Arch
+from ..litmus import (
+    all_tests,
+    check_agreement,
+    generate_battery,
+    get_test,
+    run_axiomatic,
+    run_promising,
+)
+from ..litmus.format import parse_litmus
+from ..promising import ExploreConfig, InteractiveSession, explore
+
+
+def _arch(name: str) -> Arch:
+    return Arch.RISCV if name.lower() in ("riscv", "risc-v", "rv64") else Arch.ARM
+
+
+def _load_test(args: argparse.Namespace):
+    if args.file:
+        text = Path(args.file).read_text()
+        parsed = parse_litmus(text, unroll_bound=args.loop_bound)
+        return parsed.test, parsed.arch
+    return get_test(args.test), _arch(args.arch)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    test, arch = _load_test(args)
+    result = run_promising(test, arch, ExploreConfig(loop_bound=args.loop_bound))
+    print(f"test      : {test.name}")
+    print(f"model     : promising ({arch})")
+    print(f"condition : {test.condition!r}")
+    print(f"verdict   : {result.verdict.value}")
+    print(f"time      : {result.elapsed_seconds:.3f}s")
+    print("final states:")
+    print("  " + result.outcomes.describe(test.program.loc_names).replace("\n", "\n  "))
+    if args.axiomatic:
+        ax = run_axiomatic(test, arch)
+        agree = set(ax.outcomes) == set(result.outcomes)
+        print(f"axiomatic verdict: {ax.verdict.value} (outcome sets {'agree' if agree else 'DIFFER'})")
+    return 0
+
+
+def cmd_interactive(args: argparse.Namespace) -> int:
+    test, arch = _load_test(args)
+    session = InteractiveSession(test.program, arch, loop_bound=args.loop_bound)
+    print(f"interactive exploration of {test.name} ({arch}); commands: <n>, undo, reset, quit")
+    while True:
+        print()
+        print(session.show())
+        if session.finished or session.stuck:
+            return 0
+        try:
+            command = input("step> ").strip()
+        except EOFError:
+            return 0
+        if command in ("q", "quit", "exit"):
+            return 0
+        if command == "undo":
+            session.undo()
+        elif command == "reset":
+            session.reset()
+        elif command.isdigit():
+            session.step(int(command))
+        else:
+            print(f"unknown command {command!r}")
+
+
+def cmd_catalogue(args: argparse.Namespace) -> int:
+    arch = _arch(args.arch)
+    for test in all_tests():
+        expected = test.expected_verdict(arch)
+        print(f"{test.name:24s} {expected.value if expected else '-':10s} {test.description}")
+    return 0
+
+
+def cmd_agreement(args: argparse.Namespace) -> int:
+    arch = _arch(args.arch)
+    tests = generate_battery(max_tests=args.max_tests)
+    report = check_agreement(tests, arch)
+    print(report.describe())
+    return 0 if not report.disagreements else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="promising-arm",
+        description="Promising-ARM/RISC-V exhaustive and interactive exploration tool",
+    )
+    parser.add_argument("--arch", default="arm", help="arm (default) or riscv")
+    parser.add_argument("--loop-bound", type=int, default=2, help="loop unrolling bound")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="exhaustively explore a litmus test")
+    run_parser.add_argument("--file", help="path to a .litmus file")
+    run_parser.add_argument("--test", help="name of a catalogue test", default="MP")
+    run_parser.add_argument("--axiomatic", action="store_true", help="also run the axiomatic model")
+    run_parser.set_defaults(func=cmd_run)
+
+    inter_parser = sub.add_parser("interactive", help="step through executions interactively")
+    inter_parser.add_argument("--file", help="path to a .litmus file")
+    inter_parser.add_argument("--test", help="name of a catalogue test", default="MP")
+    inter_parser.set_defaults(func=cmd_interactive)
+
+    cat_parser = sub.add_parser("catalogue", help="list built-in litmus tests")
+    cat_parser.set_defaults(func=cmd_catalogue)
+
+    agree_parser = sub.add_parser("agreement", help="promising vs axiomatic agreement run")
+    agree_parser.add_argument("--max-tests", type=int, default=40)
+    agree_parser.set_defaults(func=cmd_agreement)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

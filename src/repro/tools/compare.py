@@ -1,0 +1,110 @@
+"""Cross-model comparison utilities.
+
+The paper establishes (in Coq) that Promising-ARM/RISC-V is equivalent to
+the axiomatic models, and validates the executable tool experimentally on
+litmus batteries.  This module provides the experimental side for this
+reproduction: run a program under two or three of the models and compare
+the projected outcome sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..axiomatic import AxiomaticConfig, enumerate_axiomatic_outcomes
+from ..flat import FlatConfig, explore_flat
+from ..lang import Program, statement_registers
+from ..lang.kinds import Arch
+from ..outcomes import OutcomeSet
+from ..promising import ExploreConfig, explore, explore_naive
+
+
+@dataclass
+class ModelComparison:
+    """Projected outcome sets of the models on one program."""
+
+    program: Program
+    arch: Arch
+    promising: OutcomeSet
+    axiomatic: Optional[OutcomeSet] = None
+    flat: Optional[OutcomeSet] = None
+    naive: Optional[OutcomeSet] = None
+
+    @property
+    def promising_equals_axiomatic(self) -> Optional[bool]:
+        if self.axiomatic is None:
+            return None
+        return set(self.promising) == set(self.axiomatic)
+
+    @property
+    def promising_equals_naive(self) -> Optional[bool]:
+        if self.naive is None:
+            return None
+        return set(self.promising) == set(self.naive)
+
+    @property
+    def flat_subset_of_promising(self) -> Optional[bool]:
+        """The Flat-style baseline is an approximation; we check containment."""
+        if self.flat is None:
+            return None
+        return set(self.flat) <= set(self.promising)
+
+    def describe(self) -> str:
+        lines = [f"program {self.program.name or '<anonymous>'} on {self.arch}:"]
+        lines.append(f"  promising : {len(self.promising)} outcomes")
+        if self.axiomatic is not None:
+            verdict = "==" if self.promising_equals_axiomatic else "!="
+            lines.append(f"  axiomatic : {len(self.axiomatic)} outcomes ({verdict} promising)")
+        if self.naive is not None:
+            verdict = "==" if self.promising_equals_naive else "!="
+            lines.append(f"  naive     : {len(self.naive)} outcomes ({verdict} promising)")
+        if self.flat is not None:
+            verdict = "⊆" if self.flat_subset_of_promising else "⊄"
+            lines.append(f"  flat      : {len(self.flat)} outcomes ({verdict} promising)")
+        return "\n".join(lines)
+
+
+def observables(program: Program) -> tuple[dict[int, list[str]], list[int]]:
+    """Default projection: the program's own registers and named locations."""
+    regs = {
+        tid: sorted(statement_registers(program.threads[tid]))
+        for tid in program.thread_ids
+    }
+    locs = sorted(set(program.loc_names) | set(program.initial))
+    return regs, locs
+
+
+def compare_models(
+    program: Program,
+    arch: Arch = Arch.ARM,
+    *,
+    include_axiomatic: bool = True,
+    include_flat: bool = False,
+    include_naive: bool = False,
+    explore_config: Optional[ExploreConfig] = None,
+    axiomatic_config: Optional[AxiomaticConfig] = None,
+    flat_config: Optional[FlatConfig] = None,
+) -> ModelComparison:
+    """Run the selected models on ``program`` and project their outcomes."""
+    regs, locs = observables(program)
+    cfg = (explore_config or ExploreConfig()).for_arch(arch)
+    cfg.shared_locations = tuple(sorted(set(cfg.shared_locations) | set(locs)))
+    promising = explore(program, cfg).outcomes.project(regs, locs)
+    axiomatic = None
+    if include_axiomatic:
+        acfg = axiomatic_config or AxiomaticConfig()
+        acfg.arch = arch
+        axiomatic = enumerate_axiomatic_outcomes(program, acfg).outcomes.project(regs, locs)
+    flat = None
+    if include_flat:
+        fcfg = flat_config or FlatConfig()
+        fcfg.arch = arch
+        flat = explore_flat(program, fcfg).outcomes.project(regs, locs)
+    naive = None
+    if include_naive:
+        naive = explore_naive(program, cfg).outcomes.project(regs, locs)
+    return ModelComparison(program, arch, promising, axiomatic, flat, naive)
+
+
+__all__ = ["ModelComparison", "observables", "compare_models"]

@@ -1,0 +1,65 @@
+"""The evaluation workloads of §8 (Tables 1–3) and their registry."""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .common import DONE_REG, NodePool, Workload, completed, done_marker, fetch_add, ll_sc_cas, spin_until_equals
+from .spinlock import spinlock_asm, spinlock_cxx, spinlock_rust
+from .ticketlock import ticket_lock
+from .treiber import treiber_from_spec, treiber_stack
+from .msqueue import ms_queue, ms_queue_from_spec
+from .chaselev import chase_lev, chase_lev_from_spec
+from .pcqueue import spmc_queue, spsc_queue
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """One row of Table 1: a workload family with its source language."""
+
+    key: str
+    language: str
+    threads: int
+    description: str
+    builder: Callable[..., Workload]
+
+
+#: The ten workload families of Table 1 of the paper.  ``threads`` is the
+#: thread count the paper uses; the builders accept smaller configurations
+#: for the scaled-down benchmark runs.
+FAMILIES: dict[str, WorkloadFamily] = {
+    "SLA": WorkloadFamily("SLA", "ARMv8", 2, "hand-written assembly spinlock", spinlock_asm),
+    "SLC": WorkloadFamily("SLC", "C++", 3, "C++ CAS spinlock", spinlock_cxx),
+    "SLR": WorkloadFamily("SLR", "Rust", 3, "Rust swap spinlock", spinlock_rust),
+    "PCS": WorkloadFamily("PCS", "C++", 2, "single-producer single-consumer queue", spsc_queue),
+    "PCM": WorkloadFamily("PCM", "C++", 3, "single-producer multi-consumer queue", spmc_queue),
+    "TL": WorkloadFamily("TL", "C++", 3, "ticket lock", ticket_lock),
+    "STC": WorkloadFamily("STC", "C++", 3, "Treiber stack (C++)", treiber_stack),
+    "STR": WorkloadFamily("STR", "Rust", 3, "Treiber stack (Rust)", treiber_stack),
+    "DQ": WorkloadFamily("DQ", "C++", 3, "Chase-Lev work-stealing deque", chase_lev),
+    "QU": WorkloadFamily("QU", "C++", 3, "Michael-Scott queue", ms_queue),
+}
+
+__all__ = [
+    "DONE_REG",
+    "NodePool",
+    "Workload",
+    "WorkloadFamily",
+    "FAMILIES",
+    "completed",
+    "done_marker",
+    "fetch_add",
+    "ll_sc_cas",
+    "spin_until_equals",
+    "spinlock_asm",
+    "spinlock_cxx",
+    "spinlock_rust",
+    "ticket_lock",
+    "treiber_from_spec",
+    "treiber_stack",
+    "ms_queue",
+    "ms_queue_from_spec",
+    "chase_lev",
+    "chase_lev_from_spec",
+    "spmc_queue",
+    "spsc_queue",
+]

@@ -1,0 +1,190 @@
+"""DQ: Chase-Lev work-stealing deque workload.
+
+The owner thread pushes (and optionally takes) at the *bottom* of a
+circular buffer; thief threads steal from the *top* with a CAS on the top
+index.  This is the crossbeam-style implementation the paper checks
+(compiled from Rust); here it is written directly in the calculus with a
+statically allocated buffer.
+
+Safety conditions over every outcome:
+
+* each successfully stolen or taken value was previously pushed;
+* no element is obtained twice (by steals and takes together).
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    DMB_SY,
+    LocationEnv,
+    R,
+    ReadKind,
+    WriteKind,
+    assign,
+    if_,
+    load,
+    make_program,
+    seq,
+    store,
+)
+from ..outcomes import Outcome
+from .common import Workload, done_marker, ll_sc_cas
+
+#: Element size of the deque buffer in memory cells.
+SLOT_STRIDE = 8
+
+
+def _push(env, value, tag, *, buffer_base, relaxed=False):
+    """Owner push: write the slot, then publish bottom+1."""
+    bottom = env["bottom"]
+    rb = f"rpb{tag}"
+    publish_kind = WriteKind.PLN if relaxed else WriteKind.REL
+    return seq(
+        load(rb, bottom),
+        store(buffer_base + R(rb) * SLOT_STRIDE, value),
+        store(bottom, R(rb) + 1, kind=publish_kind),
+    )
+
+
+def _take(env, tag, *, buffer_base, retries=1):
+    """Owner take from the bottom; ``rtake<tag>`` holds the value, ``rtok<tag>`` success."""
+    bottom, top = env["bottom"], env["top"]
+    rb = f"rtb{tag}"
+    rt = f"rtt{tag}"
+    val = f"rtake{tag}"
+    got = f"rtok{tag}"
+    return seq(
+        assign(got, 0),
+        assign(val, 0),
+        load(rb, bottom),
+        store(bottom, R(rb) - 1),
+        DMB_SY,
+        load(rt, top),
+        if_(
+            R(rt).lt(R(rb) - 1),
+            # More than one element: take without synchronisation.
+            seq(load(val, buffer_base + (R(rb) - 1) * SLOT_STRIDE), assign(got, 1)),
+            if_(
+                R(rt).eq(R(rb) - 1),
+                # Last element: race with thieves via CAS on top.
+                seq(
+                    load(val, buffer_base + (R(rb) - 1) * SLOT_STRIDE),
+                    ll_sc_cas(top, R(rt), R(rt) + 1,
+                              old_reg=f"rto{tag}", ok_reg=got, retries=retries),
+                    store(bottom, R(rb)),
+                ),
+                # Empty: restore bottom.
+                store(bottom, R(rb)),
+            ),
+        ),
+    )
+
+
+def _steal(env, tag, *, buffer_base, retries=1):
+    """Thief steal from the top; ``rsteal<tag>`` holds the value, ``rsok<tag>`` success."""
+    bottom, top = env["bottom"], env["top"]
+    rt = f"rst{tag}"
+    rb = f"rsb{tag}"
+    val = f"rsteal{tag}"
+    got = f"rsok{tag}"
+    return seq(
+        assign(got, 0),
+        assign(val, 0),
+        load(rt, top, kind=ReadKind.ACQ),
+        load(rb, bottom, kind=ReadKind.ACQ),
+        if_(
+            R(rt).lt(R(rb)),
+            seq(
+                load(val, buffer_base + R(rt) * SLOT_STRIDE),
+                ll_sc_cas(top, R(rt), R(rt) + 1,
+                          old_reg=f"rso{tag}", ok_reg=got, retries=retries,
+                          release=True),
+            ),
+        ),
+    )
+
+
+def chase_lev(
+    owner_ops: str = "pp",
+    steals: tuple[int, ...] = (1,),
+    *,
+    name: str = "DQ",
+    capacity: int = 4,
+    relaxed_publish: bool = False,
+) -> Workload:
+    """Build a Chase-Lev deque workload.
+
+    ``owner_ops`` is a string of ``p`` (push) and ``t`` (take) operations
+    for thread 0; ``steals`` gives the number of steal attempts for each
+    additional thief thread.  ``DQ-abc-d-e`` of the paper corresponds to
+    owner ops ``"p"*a + "t"*b + "p"*c`` and ``steals=(d, e)``.
+    """
+    env = LocationEnv()
+    env["top"], env["bottom"]
+    buffer = env.array("buf", capacity)
+    buffer_base = buffer[0]
+
+    obtained: list[tuple[int, str, str]] = []
+    pushed: list[int] = []
+    next_value = 1
+
+    owner_body = []
+    for index, op in enumerate(owner_ops):
+        tag = f"0_{index}"
+        if op == "p":
+            owner_body.append(
+                _push(env, next_value, tag, buffer_base=buffer_base, relaxed=relaxed_publish)
+            )
+            pushed.append(next_value)
+            next_value += 1
+        elif op == "t":
+            owner_body.append(_take(env, tag, buffer_base=buffer_base))
+            obtained.append((0, f"rtok{tag}", f"rtake{tag}"))
+        else:
+            raise ValueError(f"unknown deque owner operation {op!r}")
+    owner_body.append(done_marker())
+    threads = [seq(*owner_body)]
+
+    for thief_index, count in enumerate(steals, start=1):
+        body = []
+        for attempt in range(count):
+            tag = f"{thief_index}_{attempt}"
+            body.append(_steal(env, tag, buffer_base=buffer_base))
+            obtained.append((thief_index, f"rsok{tag}", f"rsteal{tag}"))
+        body.append(done_marker())
+        threads.append(seq(*body))
+
+    program = make_program(threads, env=env, name=name)
+    valid = frozenset(pushed)
+
+    def check(outcome: Outcome) -> bool:
+        values = [
+            outcome.reg(tid, value_reg)
+            for tid, ok_reg, value_reg in obtained
+            if outcome.reg(tid, ok_reg) == 1
+        ]
+        if any(v not in valid for v in values):
+            return False
+        return len(values) == len(set(values))
+
+    return Workload(
+        name=name,
+        program=program,
+        condition=check,
+        description="Chase-Lev deque: takes and steals return distinct pushed values",
+        expected_violation=relaxed_publish,
+    )
+
+
+def chase_lev_from_spec(spec: str, *, name_prefix: str = "DQ") -> Workload:
+    """Paper-style spec ``"abc-d-e"`` (owner pushes/takes/pushes, two thieves)."""
+    parts = spec.split("-")
+    if len(parts) < 2:
+        raise ValueError(f"malformed deque spec {spec!r}")
+    a, b, c = (int(ch) for ch in parts[0])
+    owner = "p" * a + "t" * b + "p" * c
+    steals = tuple(int(p) for p in parts[1:] if int(p) > 0)
+    return chase_lev(owner, steals, name=f"{name_prefix}-{spec}")
+
+
+__all__ = ["chase_lev", "chase_lev_from_spec", "SLOT_STRIDE"]

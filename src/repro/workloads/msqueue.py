@@ -1,0 +1,192 @@
+"""QU: Michael–Scott queue workloads, including the §8 bug-hunt variant.
+
+The queue is a linked list with ``head``/``tail`` pointers and an initial
+dummy node.  Enqueue writes the new node's data, links it after the
+current tail (CAS on the tail node's ``next`` field), and swings ``tail``;
+dequeue reads ``head``, follows ``next``, reads the data and swings
+``head`` with CAS.
+
+Two variants reproduce the case study of §8:
+
+* ``release_link=True`` — the fixed queue: the store/CAS that publishes the
+  new node (the write of the predecessor's ``next`` field) has release
+  ordering, so the node's data write cannot be observed after the link.
+* ``release_link=False`` — the relaxed (buggy) queue: the link is a plain
+  write, so another thread can dequeue the node and read its data field
+  before the data write has propagated, observing the uninitialised value
+  0.  The exploration tool finds this violating outcome, as in the paper.
+
+All enqueued values are nonzero and distinct; the safety conditions are
+(a) every successful dequeue returns a previously enqueued value (never
+the uninitialised 0), and (b) no value is dequeued twice.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    LocationEnv,
+    R,
+    ReadKind,
+    WriteKind,
+    assign,
+    if_,
+    load,
+    make_program,
+    seq,
+    store,
+)
+from ..outcomes import Outcome
+from .common import NodePool, Workload, done_marker, ll_sc_cas
+
+#: Node layout: data at base+0, next pointer at base+8.
+DATA_OFFSET = 0
+NEXT_OFFSET = 8
+
+
+def _enqueue(env, node, value, tag, *, release_link, retries):
+    """Append ``node`` carrying ``value`` at the tail."""
+    tail = env["tail"]
+    rtail = f"rtail{tag}"
+    rnext = f"rtnext{tag}"
+    ok = f"renq{tag}"
+    link_kind = WriteKind.REL if release_link else WriteKind.PLN
+    return seq(
+        # initialise the node
+        store(node["data"], value),
+        store(node["next"], 0),
+        # read the tail and its next pointer
+        load(rtail, tail),
+        load(rnext, R(rtail) + NEXT_OFFSET),
+        # if the tail is up to date, link the new node behind it
+        if_(
+            R(rnext).eq(0),
+            seq(
+                ll_sc_cas(
+                    R(rtail) + NEXT_OFFSET,
+                    0,
+                    node["data"],
+                    old_reg=f"rlold{tag}",
+                    ok_reg=ok,
+                    retries=retries,
+                    release=release_link,
+                ),
+                # swing the tail pointer (helping is omitted in this bounded test)
+                if_(R(ok).eq(1), store(tail, node["data"])),
+            ),
+            assign(ok, 0),
+        ),
+    )
+
+
+def _dequeue(env, tag, *, retries):
+    """Dequeue once; ``rdeq<tag>`` receives the data (0 = empty/failed)."""
+    head = env["head"]
+    rhead = f"rhead{tag}"
+    rnext = f"rhnext{tag}"
+    rdata = f"rdata{tag}"
+    ok = f"rdeq_ok{tag}"
+    result = f"rdeq{tag}"
+    return seq(
+        assign(result, 0),
+        load(rhead, head, kind=ReadKind.ACQ),
+        load(rnext, R(rhead) + NEXT_OFFSET, kind=ReadKind.ACQ),
+        if_(
+            R(rnext).ne(0),
+            seq(
+                load(rdata, R(rnext) + DATA_OFFSET),
+                ll_sc_cas(
+                    head,
+                    R(rhead),
+                    R(rnext),
+                    old_reg=f"rhold{tag}",
+                    ok_reg=ok,
+                    retries=retries,
+                ),
+                if_(R(ok).eq(1), assign(result, R(rdata))),
+            ),
+        ),
+    )
+
+
+def ms_queue(
+    ops: tuple[str, ...] = ("e", "d"),
+    *,
+    name: str = "QU",
+    release_link: bool = True,
+    retries: int = 1,
+) -> Workload:
+    """Build a Michael–Scott queue workload.
+
+    ``ops`` gives one string per thread of ``e`` (enqueue) and ``d``
+    (dequeue) operations.
+    """
+    env = LocationEnv()
+    head, tail = env["head"], env["tail"]
+    pool = NodePool(env, "qnode", ("data", "next"))
+    dummy = pool.alloc()
+
+    threads = []
+    enqueued: list[int] = []
+    deq_registers: list[tuple[int, str]] = []
+    next_value = 1
+    for tid, script in enumerate(ops):
+        body = []
+        for op_index, op in enumerate(script):
+            tag = f"{tid}_{op_index}"
+            if op in ("e", "enq"):
+                node = pool.alloc()
+                body.append(
+                    _enqueue(env, node, next_value, tag,
+                             release_link=release_link, retries=retries)
+                )
+                enqueued.append(next_value)
+                next_value += 1
+            elif op in ("d", "deq"):
+                body.append(_dequeue(env, tag, retries=retries))
+                deq_registers.append((tid, f"rdeq_ok{tag}", f"rdeq{tag}"))
+            else:
+                raise ValueError(f"unknown queue operation {op!r}")
+        body.append(done_marker())
+        threads.append(seq(*body))
+
+    # The dummy node starts empty; head and tail point at it.
+    initial = {head: dummy["data"], tail: dummy["data"], dummy["next"]: 0}
+    program = make_program(threads, env=env, initial=initial, name=name)
+    valid = frozenset(enqueued)
+
+    def check(outcome: Outcome) -> bool:
+        taken = [
+            outcome.reg(tid, value_reg)
+            for tid, ok_reg, value_reg in deq_registers
+            if outcome.reg(tid, ok_reg) == 1
+        ]
+        # A successful dequeue must return an enqueued (nonzero) value —
+        # observing 0 means the node was published before its data (§8 bug)
+        # — and no value may be dequeued twice.
+        if any(v not in valid for v in taken):
+            return False
+        return len(taken) == len(set(taken))
+
+    return Workload(
+        name=name,
+        program=program,
+        condition=check,
+        description="Michael–Scott queue: dequeues return distinct enqueued values "
+        + ("(release publication)" if release_link else "(relaxed publication — buggy)"),
+        expected_violation=not release_link,
+    )
+
+
+def ms_queue_from_spec(spec: str, *, release_link: bool = True, name_prefix: str = "QU") -> Workload:
+    """Paper-style spec ``"abc-def-ghi"``: per thread, enqueue ``a``, dequeue ``b``, enqueue ``c``."""
+    ops = []
+    for group in spec.split("-"):
+        if len(group) != 3 or not group.isdigit():
+            raise ValueError(f"malformed thread spec {group!r}")
+        a, b, c = (int(ch) for ch in group)
+        ops.append("e" * a + "d" * b + "e" * c)
+    suffix = "" if release_link else "(rlx)"
+    return ms_queue(tuple(ops), name=f"{name_prefix}{suffix}-{spec}", release_link=release_link)
+
+
+__all__ = ["ms_queue", "ms_queue_from_spec", "DATA_OFFSET", "NEXT_OFFSET"]

@@ -1,0 +1,175 @@
+"""PCS / PCM: producer–consumer circular-buffer queues.
+
+* **PCS** — single producer, single consumer: the producer writes the slot
+  and publishes a new write index with a release store; the consumer reads
+  the write index with acquire, reads the slot, and advances its own read
+  index (not shared).
+* **PCM** — single producer, multiple consumers: consumers additionally
+  claim slots by CAS on a shared read index, so an element is delivered to
+  at most one consumer.
+
+Safety conditions over every outcome: every consumed value was produced
+(in particular it is never the uninitialised 0 — the publication must not
+be observable before the slot write), and under PCM no element is consumed
+twice.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    LocationEnv,
+    R,
+    ReadKind,
+    WriteKind,
+    assign,
+    if_,
+    load,
+    make_program,
+    seq,
+    store,
+)
+from ..outcomes import Outcome
+from .common import Workload, done_marker, ll_sc_cas
+
+SLOT_STRIDE = 8
+
+
+def _produce(env, value, tag, *, buffer_base, relaxed=False):
+    widx = env["widx"]
+    rw = f"rw{tag}"
+    publish = WriteKind.PLN if relaxed else WriteKind.REL
+    return seq(
+        load(rw, widx),
+        store(buffer_base + R(rw) * SLOT_STRIDE, value),
+        store(widx, R(rw) + 1, kind=publish),
+    )
+
+
+def _consume_spsc(env, tag, *, buffer_base):
+    """Single-consumer receive: the read index lives in a register chain."""
+    widx = env["widx"]
+    ridx = env["ridx"]
+    rr = f"rr{tag}"
+    rw = f"rwseen{tag}"
+    val = f"rcons{tag}"
+    got = f"rcok{tag}"
+    return seq(
+        assign(got, 0),
+        assign(val, 0),
+        load(rr, ridx),
+        load(rw, widx, kind=ReadKind.ACQ),
+        if_(
+            R(rr).lt(R(rw)),
+            seq(
+                load(val, buffer_base + R(rr) * SLOT_STRIDE),
+                store(ridx, R(rr) + 1),
+                assign(got, 1),
+            ),
+        ),
+    )
+
+
+def _consume_mpmc(env, tag, *, buffer_base, retries=1):
+    """Multi-consumer receive: claim the slot by CAS on the read index."""
+    widx = env["widx"]
+    ridx = env["ridx"]
+    rr = f"rr{tag}"
+    rw = f"rwseen{tag}"
+    val = f"rcons{tag}"
+    got = f"rcok{tag}"
+    return seq(
+        assign(got, 0),
+        assign(val, 0),
+        load(rr, ridx),
+        load(rw, widx, kind=ReadKind.ACQ),
+        if_(
+            R(rr).lt(R(rw)),
+            seq(
+                load(val, buffer_base + R(rr) * SLOT_STRIDE),
+                ll_sc_cas(ridx, R(rr), R(rr) + 1,
+                          old_reg=f"rro{tag}", ok_reg=got, retries=retries),
+            ),
+        ),
+    )
+
+
+def _build(env, producer_count, consumers, consume_builder, *, capacity, name, relaxed):
+    buffer = env.array("buf", capacity)
+    buffer_base = buffer[0]
+
+    produced = []
+    producer_body = []
+    for index in range(producer_count):
+        value = index + 1
+        producer_body.append(
+            _produce(env, value, f"0_{index}", buffer_base=buffer_base, relaxed=relaxed)
+        )
+        produced.append(value)
+    producer_body.append(done_marker())
+    threads = [seq(*producer_body)]
+
+    consumed: list[tuple[int, str, str]] = []
+    for consumer_index, count in enumerate(consumers, start=1):
+        body = []
+        for attempt in range(count):
+            tag = f"{consumer_index}_{attempt}"
+            body.append(consume_builder(env, tag, buffer_base=buffer_base))
+            consumed.append((consumer_index, f"rcok{tag}", f"rcons{tag}"))
+        body.append(done_marker())
+        threads.append(seq(*body))
+
+    program = make_program(threads, env=env, name=name)
+    valid = frozenset(produced)
+
+    def check(outcome: Outcome) -> bool:
+        values = [
+            outcome.reg(tid, value_reg)
+            for tid, ok_reg, value_reg in consumed
+            if outcome.reg(tid, ok_reg) == 1
+        ]
+        if any(v not in valid for v in values):
+            return False
+        return len(values) == len(set(values))
+
+    return program, check
+
+
+def spsc_queue(produce: int = 2, consume: int = 2, *, capacity: int = 4,
+               relaxed_publish: bool = False) -> Workload:
+    """PCS-n-m: single producer (n sends), single consumer (m receives)."""
+    env = LocationEnv()
+    env["widx"], env["ridx"]
+    name = f"PCS-{produce}-{consume}"
+    program, check = _build(
+        env, produce, (consume,), _consume_spsc,
+        capacity=capacity, name=name, relaxed=relaxed_publish,
+    )
+    return Workload(
+        name=name,
+        program=program,
+        condition=check,
+        description="single-producer single-consumer circular queue",
+        expected_violation=relaxed_publish,
+    )
+
+
+def spmc_queue(produce: int = 1, consumes: tuple[int, ...] = (1, 1), *, capacity: int = 4,
+               relaxed_publish: bool = False) -> Workload:
+    """PCM-n-m-k: single producer, multiple consumers claiming slots by CAS."""
+    env = LocationEnv()
+    env["widx"], env["ridx"]
+    name = "PCM-" + "-".join(str(n) for n in (produce,) + tuple(consumes))
+    program, check = _build(
+        env, produce, tuple(consumes), _consume_mpmc,
+        capacity=capacity, name=name, relaxed=relaxed_publish,
+    )
+    return Workload(
+        name=name,
+        program=program,
+        condition=check,
+        description="single-producer multiple-consumer circular queue",
+        expected_violation=relaxed_publish,
+    )
+
+
+__all__ = ["spsc_queue", "spmc_queue", "SLOT_STRIDE"]

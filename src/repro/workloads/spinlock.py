@@ -1,0 +1,202 @@
+"""Spinlock workloads: SLA (assembly), SLC (C++-style), SLR (Rust-style).
+
+All three protect a non-atomic shared counter; every thread acquires the
+lock, increments the counter, and releases the lock, a configurable number
+of times.  Each thread counts its successful critical sections in a
+register, so the safety condition is independent of the loop bounding:
+the final counter must equal the total number of critical sections
+executed (no lost updates), which is exactly what mutual exclusion
+guarantees.
+
+* **SLA** is hand-written AArch64 assembly (the Linux-derived spinlock of
+  the paper's Table 1), assembled through :mod:`repro.isa`.
+* **SLC** models the GCC lowering of a C++ ``std::atomic_flag`` test-and-set
+  lock: an acquire CAS loop and a release store.
+* **SLR** models the rustc lowering of a swap-based spinlock: an
+  unconditional LL/SC exchange with acquire ordering.
+"""
+
+from __future__ import annotations
+
+from ..isa import ThreadSource, assemble_program, assembly_line_count
+from ..lang import (
+    LocationEnv,
+    Program,
+    R,
+    ReadKind,
+    WriteKind,
+    assign,
+    if_,
+    load,
+    make_program,
+    seq,
+    store,
+)
+from ..outcomes import Outcome
+from .common import Workload, done_marker, ll_sc_cas
+
+#: Register counting the critical sections a thread completed.
+CS_REG = "rcs"
+
+
+def _counter_condition(n_threads: int, counter_loc: int):
+    """Final counter equals the number of critical sections performed."""
+
+    def check(outcome: Outcome) -> bool:
+        total = sum(outcome.reg(tid, CS_REG) for tid in range(n_threads))
+        return outcome.mem(counter_loc) == total
+
+    return check
+
+
+def _critical_section(env: LocationEnv) -> list:
+    """Increment the shared counter (non-atomically) and count it."""
+    return [
+        load("rtmp", env["counter"]),
+        store(env["counter"], R("rtmp") + 1),
+        assign(CS_REG, R(CS_REG) + 1),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SLC: CAS-based test-and-set lock (C++ std::atomic compiled with GCC)
+# ---------------------------------------------------------------------------
+
+
+def slc_thread(env: LocationEnv, acquisitions: int, retries: int = 2) -> "Stmt":
+    body = []
+    for i in range(acquisitions):
+        body.append(
+            ll_sc_cas(
+                env["lock"],
+                0,
+                1,
+                old_reg=f"rold{i}",
+                ok_reg=f"rlock{i}",
+                retries=retries,
+                acquire=True,
+            )
+        )
+        cs = seq(*_critical_section(env), store(env["lock"], 0, kind=WriteKind.REL))
+        body.append(if_(R(f"rlock{i}").eq(1), cs))
+    body.append(done_marker())
+    return seq(assign(CS_REG, 0), *body)
+
+
+def spinlock_cxx(n_threads: int = 2, acquisitions: int = 1, retries: int = 2) -> Workload:
+    """SLC-n: the C++-style CAS spinlock, ``acquisitions`` lock/unlocks per thread."""
+    env = LocationEnv()
+    env["lock"], env["counter"]
+    threads = [slc_thread(env, acquisitions, retries) for _ in range(n_threads)]
+    program = make_program(threads, env=env, name=f"SLC-{acquisitions}")
+    return Workload(
+        name=f"SLC-{acquisitions}" + (f"x{n_threads}" if n_threads != 2 else ""),
+        program=program,
+        condition=_counter_condition(n_threads, env["counter"]),
+        description="C++-style CAS spinlock protecting a shared counter",
+    )
+
+
+# ---------------------------------------------------------------------------
+# SLR: swap-based lock (Rust spin crate style)
+# ---------------------------------------------------------------------------
+
+
+def slr_thread(env: LocationEnv, acquisitions: int, attempts: int = 2) -> "Stmt":
+    body = []
+    for i in range(acquisitions):
+        got = f"rlock{i}"
+        # Bounded retry of: old := exchange(lock, 1, acquire); got := (old == 0)
+        attempt = seq(
+            load(f"rx{i}", env["lock"], kind=ReadKind.ACQ, exclusive=True),
+            store(env["lock"], 1, exclusive=True, succ_reg=f"rs{i}"),
+            if_(R(f"rs{i}").eq(0) & R(f"rx{i}").eq(0), assign(got, 1), assign(got, 0)),
+        )
+        chain = attempt
+        for _ in range(attempts - 1):
+            chain = seq(attempt, if_(R(got).eq(0), chain))
+        body.append(seq(assign(got, 0), chain))
+        cs = seq(*_critical_section(env), store(env["lock"], 0, kind=WriteKind.REL))
+        body.append(if_(R(got).eq(1), cs))
+    body.append(done_marker())
+    return seq(assign(CS_REG, 0), *body)
+
+
+def spinlock_rust(n_threads: int = 2, acquisitions: int = 1, attempts: int = 2) -> Workload:
+    """SLR-n: the Rust-style swap spinlock."""
+    env = LocationEnv()
+    env["lock"], env["counter"]
+    threads = [slr_thread(env, acquisitions, attempts) for _ in range(n_threads)]
+    program = make_program(threads, env=env, name=f"SLR-{acquisitions}")
+    return Workload(
+        name=f"SLR-{acquisitions}",
+        program=program,
+        condition=_counter_condition(n_threads, env["counter"]),
+        description="Rust-style swap spinlock protecting a shared counter",
+    )
+
+
+# ---------------------------------------------------------------------------
+# SLA: hand-written AArch64 assembly spinlock (Linux derived)
+# ---------------------------------------------------------------------------
+
+SLA_ACQUIRE_RELEASE_ASM = """
+    // acquire(lock in X1)
+retry{i}:
+    LDAXR   X0, [X1]
+    CBNZ    X0, giveup{i}
+    MOV     X2, #1
+    STXR    W3, X2, [X1]
+    CBNZ    W3, retry{i}
+    // critical section: counter in X5, completed sections in X7
+    LDR     X4, [X5]
+    ADD     X4, X4, #1
+    STR     X4, [X5]
+    ADD     X7, X7, #1
+    // release
+    STLR    XZR, [X1]
+giveup{i}:
+    NOP
+"""
+
+SLA_FOOTER_ASM = """
+    MOV X9, #1
+"""
+
+
+def spinlock_asm(n_threads: int = 2, acquisitions: int = 1, unroll: int = 2) -> Workload:
+    """SLA-n: the assembly spinlock, run through the ARMv8 front end."""
+    env = LocationEnv()
+    lock, counter = env["lock"], env["counter"]
+    text = "".join(SLA_ACQUIRE_RELEASE_ASM.format(i=i) for i in range(acquisitions))
+    text += SLA_FOOTER_ASM
+    sources = [ThreadSource(text, {"X1": lock, "X5": counter}) for _ in range(n_threads)]
+    from ..lang.kinds import Arch
+
+    program = assemble_program(
+        sources, Arch.ARM, env=env, name=f"SLA-{acquisitions}", unroll_bound=unroll
+    )
+
+    def check(outcome: Outcome) -> bool:
+        total = sum(outcome.reg(tid, "X7") for tid in range(n_threads))
+        return outcome.mem(counter) == total
+
+    workload = Workload(
+        name=f"SLA-{acquisitions}",
+        program=program,
+        condition=check,
+        description="hand-written AArch64 spinlock (Linux-derived), via the ISA front end",
+    )
+    workload.assembly_lines = assembly_line_count(sources)  # type: ignore[attr-defined]
+    return workload
+
+
+__all__ = [
+    "CS_REG",
+    "slc_thread",
+    "slr_thread",
+    "spinlock_cxx",
+    "spinlock_rust",
+    "spinlock_asm",
+    "SLA_ACQUIRE_RELEASE_ASM",
+]

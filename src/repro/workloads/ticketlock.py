@@ -1,0 +1,77 @@
+"""TL: ticket lock workload.
+
+A ticket lock has two counters: ``next`` (the next ticket to hand out) and
+``owner`` (the ticket currently allowed into the critical section).
+Acquiring takes a ticket with an atomic fetch-and-add on ``next`` and
+spins until ``owner`` equals the ticket; releasing stores ``ticket+1`` to
+``owner`` with release ordering.
+
+As with the spinlocks, every thread increments a plain shared counter in
+its critical section and counts its completed critical sections, so the
+safety condition (no lost updates) is independent of the spin bounds.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    LocationEnv,
+    Program,
+    R,
+    ReadKind,
+    WriteKind,
+    assign,
+    if_,
+    load,
+    make_program,
+    seq,
+    store,
+)
+from ..outcomes import Outcome
+from .common import Workload, done_marker, fetch_add, spin_until_equals
+
+CS_REG = "rcs"
+
+
+def ticket_thread(env: LocationEnv, acquisitions: int, spins: int = 3, retries: int = 2):
+    body = [assign(CS_REG, 0)]
+    for i in range(acquisitions):
+        ticket = f"rticket{i}"
+        seen = f"rowner{i}"
+        body.append(fetch_add(env["next"], 1, old_reg=ticket, retries=retries))
+        body.append(
+            spin_until_equals(env["owner"], R(ticket), reg=seen, acquire=True, spins=spins)
+        )
+        critical = seq(
+            load("rtmp", env["counter"]),
+            store(env["counter"], R("rtmp") + 1),
+            assign(CS_REG, R(CS_REG) + 1),
+            store(env["owner"], R(ticket) + 1, kind=WriteKind.REL),
+        )
+        # Enter only if the ticket was obtained and the owner reached it.
+        body.append(
+            if_(R(f"{ticket}_ok").eq(1) & R(seen).eq(R(ticket)), critical)
+        )
+    body.append(done_marker())
+    return seq(*body)
+
+
+def ticket_lock(n_threads: int = 2, acquisitions: int = 1, spins: int = 3) -> Workload:
+    """TL-n: ticket lock with ``acquisitions`` critical sections per thread."""
+    env = LocationEnv()
+    env["next"], env["owner"], env["counter"]
+    threads = [ticket_thread(env, acquisitions, spins) for _ in range(n_threads)]
+    program = make_program(threads, env=env, name=f"TL-{acquisitions}")
+
+    def check(outcome: Outcome) -> bool:
+        total = sum(outcome.reg(tid, CS_REG) for tid in range(n_threads))
+        return outcome.mem(env["counter"]) == total
+
+    return Workload(
+        name=f"TL-{acquisitions}",
+        program=program,
+        condition=check,
+        description="ticket lock (fetch-and-add ticket, spin on owner) protecting a counter",
+    )
+
+
+__all__ = ["ticket_thread", "ticket_lock", "CS_REG"]

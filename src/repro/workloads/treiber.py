@@ -1,0 +1,176 @@
+"""STC/STR: Treiber stack workloads.
+
+The Treiber stack is a lock-free stack whose ``head`` pointer is updated
+with compare-and-swap.  Nodes come from a static pool (the paper's naive
+malloc substitute); every pushed value is distinct and nonzero so the
+checker can tell pops apart.
+
+Safety conditions checked over every outcome:
+
+* every successful pop returns a value that was pushed;
+* no two successful pops return the same value (no duplication);
+* a popped node's value field is never observed as 0 (no "publication
+  before initialisation", the bug class §8 hunts in the queue example).
+
+The STC (C++/GCC) variant publishes nodes with a release CAS; the STR
+(Rust) variant is identical here.  The "relaxed" variant
+(``release_push=False``) drops the release ordering on the publishing CAS:
+the hardware model then allows the node's value write to propagate after
+the publishing write, so a pop can observe the uninitialised value — the
+same bug class the paper's §8 case study finds in the queue.  Such
+variants carry ``expected_violation=True`` and the checker must find a
+violating outcome.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    LocationEnv,
+    R,
+    ReadKind,
+    WriteKind,
+    assign,
+    if_,
+    load,
+    make_program,
+    seq,
+    store,
+)
+from ..outcomes import Outcome
+from .common import NodePool, Workload, done_marker, ll_sc_cas
+
+
+def _push(env: LocationEnv, node: dict, value: int, tag: str, *, release: bool, retries: int):
+    """Push a pre-allocated node carrying ``value``."""
+    head = env["head"]
+    old = f"rph{tag}"
+    ok = f"rpok{tag}"
+    return seq(
+        store(node["value"], value),
+        load(old, head),
+        store(node["next"], R(old)),
+        ll_sc_cas(
+            head,
+            R(old),
+            node["base"],
+            old_reg=f"rcur{tag}",
+            ok_reg=ok,
+            retries=retries,
+            release=release,
+        ),
+    )
+
+
+def _pop(env: LocationEnv, tag: str, *, retries: int):
+    """Pop once; ``rpop<tag>`` receives the value (0 = empty or retry-bound)."""
+    head = env["head"]
+    old = f"rh{tag}"
+    ok = f"rdok{tag}"
+    result = f"rpop{tag}"
+    return seq(
+        assign(result, 0),
+        load(old, head, kind=ReadKind.ACQ),
+        if_(
+            R(old).ne(0),
+            seq(
+                # node layout: [value, next] at base, base+8.
+                load(f"rnext{tag}", R(old) + 8),
+                load(f"rval{tag}", R(old)),
+                ll_sc_cas(
+                    head,
+                    R(old),
+                    R(f"rnext{tag}"),
+                    old_reg=f"rcur{tag}",
+                    ok_reg=ok,
+                    retries=retries,
+                ),
+                if_(R(ok).eq(1), assign(result, R(f"rval{tag}"))),
+            ),
+        ),
+    )
+
+
+def treiber_stack(
+    ops: tuple[str, ...] = ("p", "o"),
+    *,
+    name: str = "STC",
+    release_push: bool = True,
+    retries: int = 1,
+) -> Workload:
+    """Build a Treiber-stack workload.
+
+    ``ops`` gives one string per thread, each a sequence of ``p`` (push)
+    and ``o`` (pop) characters, mirroring the paper's ``STC-abc-def-ghi``
+    naming where the digits are per-thread operation counts.  For example
+    ``ops=("pp", "o")`` is one thread pushing twice and one thread popping
+    once.
+    """
+    env = LocationEnv()
+    env["head"]
+    pool = NodePool(env, "node", ("value", "next"))
+    threads = []
+    pushed_values: list[int] = []
+    pop_registers: list[tuple[int, str]] = []
+    next_value = 1
+    for tid, script in enumerate(ops):
+        body = []
+        for op_index, op in enumerate(script):
+            tag = f"{tid}_{op_index}"
+            if op in ("p", "push"):
+                node = pool.alloc()
+                node["base"] = node["value"]  # value field sits at the node base
+                body.append(
+                    _push(env, node, next_value, tag, release=release_push, retries=retries)
+                )
+                pushed_values.append(next_value)
+                next_value += 1
+            elif op in ("o", "pop"):
+                body.append(_pop(env, tag, retries=retries))
+                pop_registers.append((tid, f"rdok{tag}", f"rpop{tag}"))
+            else:
+                raise ValueError(f"unknown stack operation {op!r}")
+        body.append(done_marker())
+        threads.append(seq(*body))
+
+    program = make_program(threads, env=env, name=name)
+    pushed = frozenset(pushed_values)
+
+    def check(outcome: Outcome) -> bool:
+        # Only pops whose head-CAS succeeded actually removed a node; those
+        # must return distinct, previously pushed (nonzero) values.
+        taken = [
+            outcome.reg(tid, value_reg)
+            for tid, ok_reg, value_reg in pop_registers
+            if outcome.reg(tid, ok_reg) == 1
+        ]
+        if any(v not in pushed for v in taken):
+            return False
+        return len(taken) == len(set(taken))
+
+    return Workload(
+        name=name,
+        program=program,
+        condition=check,
+        description="Treiber stack: pops return distinct, previously pushed values",
+        expected_violation=not release_push,
+    )
+
+
+def treiber_from_spec(spec: str, *, name_prefix: str = "STC", release_push: bool = True) -> Workload:
+    """Build a stack workload from a paper-style spec like ``"100-010-010"``.
+
+    Each dash-separated group describes one thread as three digits
+    ``a b c``: push ``a`` times, pop ``b`` times, push ``c`` times.
+    """
+    ops = []
+    for group in spec.split("-"):
+        if len(group) != 3 or not group.isdigit():
+            raise ValueError(f"malformed thread spec {group!r}")
+        a, b, c = (int(ch) for ch in group)
+        ops.append("p" * a + "o" * b + "p" * c)
+    return treiber_stack(
+        tuple(ops), name=f"{name_prefix}-{spec}", release_push=release_push
+    )
+
+
+__all__ = ["treiber_stack", "treiber_from_spec"]

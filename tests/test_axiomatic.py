@@ -1,0 +1,184 @@
+"""Unit tests for the axiomatic model: relations, pre-executions, axioms."""
+
+import pytest
+
+from repro.axiomatic import (
+    AxiomaticConfig,
+    Relation,
+    enumerate_axiomatic_outcomes,
+    enumerate_preexecutions,
+    infer_value_domains,
+)
+from repro.axiomatic.events import Event, init_write
+from repro.axiomatic.relations import cross, identity_on
+from repro.lang import (
+    DMB_SY,
+    LocationEnv,
+    R,
+    ReadKind,
+    WriteKind,
+    dependency_idiom,
+    if_,
+    load,
+    make_program,
+    seq,
+    store,
+)
+from repro.lang.kinds import Arch
+from repro.litmus import all_tests, run_axiomatic
+
+X, Y = 0, 8
+
+
+class TestRelation:
+    def test_union_and_intersection(self):
+        a = Relation([((0, 0), (0, 1))])
+        b = Relation([((0, 1), (0, 2))])
+        assert len(a | b) == 2
+        assert len(a & b) == 0
+
+    def test_compose(self):
+        a = Relation([((0, 0), (0, 1))])
+        b = Relation([((0, 1), (0, 2)), ((0, 9), (0, 3))])
+        assert a.compose(b) == Relation([((0, 0), (0, 2))])
+
+    def test_inverse(self):
+        assert Relation([((0, 0), (0, 1))]).inverse() == Relation([((0, 1), (0, 0))])
+
+    def test_transitive_closure(self):
+        r = Relation([((0, 0), (0, 1)), ((0, 1), (0, 2))])
+        assert ((0, 0), (0, 2)) in r.transitive_closure()
+
+    def test_acyclic_detects_cycles(self):
+        assert Relation([((0, 0), (0, 1)), ((0, 1), (0, 2))]).is_acyclic()
+        assert not Relation([((0, 0), (0, 1)), ((0, 1), (0, 0))]).is_acyclic()
+        assert not Relation([((0, 0), (0, 0))]).is_acyclic()
+
+    def test_restrict(self):
+        r = Relation([((0, 0), (0, 1)), ((1, 0), (1, 1))])
+        restricted = r.restrict(domain=lambda e: e[0] == 0)
+        assert restricted == Relation([((0, 0), (0, 1))])
+
+    def test_identity_on_and_cross(self):
+        events = [init_write(X, 0, 0), init_write(Y, 0, 1)]
+        ident = identity_on(events, lambda e: e.loc == X)
+        assert len(ident) == 1
+        assert len(cross(events, events)) == 4
+
+
+class TestPreExecutions:
+    def test_straight_line_single_preexecution(self):
+        stmt = seq(store(X, 1), store(Y, 2))
+        (pre,) = enumerate_preexecutions(stmt, 0, {}, {})
+        assert [e.kind for e in pre.events] == ["W", "W"]
+
+    def test_load_branches_over_domain(self):
+        stmt = load("r1", X)
+        pres = enumerate_preexecutions(stmt, 0, {X: frozenset({0, 1, 2})}, {})
+        assert sorted(p.events[0].val for p in pres) == [0, 1, 2]
+
+    def test_address_dependency_recorded(self):
+        stmt = seq(load("r1", Y), load("r2", dependency_idiom(X, "r1")))
+        pres = enumerate_preexecutions(stmt, 0, {Y: frozenset({0})}, {})
+        second = pres[0].events[1]
+        assert second.addr_deps == {pres[0].events[0].eid}
+
+    def test_data_dependency_recorded(self):
+        stmt = seq(load("r1", Y), store(X, R("r1")))
+        (pre,) = enumerate_preexecutions(stmt, 0, {Y: frozenset({0})}, {})
+        assert pre.events[1].data_deps == {pre.events[0].eid}
+
+    def test_control_dependency_covers_rest_of_thread(self):
+        stmt = seq(load("r1", Y), if_(R("r1").eq(0), store(X, 1)), store(X, 2))
+        (pre,) = enumerate_preexecutions(stmt, 0, {Y: frozenset({0})}, {})
+        read_eid = pre.events[0].eid
+        for write in pre.events[1:]:
+            assert read_eid in write.ctrl_deps
+
+    def test_store_exclusive_failure_and_success(self):
+        stmt = seq(
+            load("r1", X, exclusive=True),
+            store(X, 1, exclusive=True, succ_reg="rs"),
+        )
+        pres = enumerate_preexecutions(stmt, 0, {X: frozenset({0})}, {})
+        successes = [p for p in pres if any(e.is_write for e in p.events)]
+        failures = [p for p in pres if not any(e.is_write for e in p.events)]
+        assert len(successes) == 1 and len(failures) == 1
+        write = next(e for e in successes[0].events if e.is_write)
+        assert write.rmw_partner == successes[0].events[0].eid
+        assert successes[0].final_register_values()["rs"] == 0
+        assert failures[0].final_register_values()["rs"] == 1
+
+    def test_store_exclusive_without_reservation_only_fails(self):
+        stmt = store(X, 1, exclusive=True, succ_reg="rs")
+        pres = enumerate_preexecutions(stmt, 0, {}, {})
+        assert len(pres) == 1
+        assert not any(e.is_write for e in pres[0].events)
+
+    def test_value_domain_fixpoint_propagates_copies(self):
+        env = LocationEnv()
+        program = make_program(
+            [store(env["x"], 7), seq(load("r1", env["x"]), store(env["y"], R("r1")))],
+            env=env,
+        )
+        domains = infer_value_domains(program)
+        assert 7 in domains[env["x"]]
+        assert 7 in domains[env["y"]]
+
+    def test_fence_and_isb_events(self):
+        from repro.lang import Isb
+
+        stmt = seq(DMB_SY, Isb())
+        (pre,) = enumerate_preexecutions(stmt, 0, {}, {})
+        assert [e.kind for e in pre.events] == ["F", "ISB"]
+
+
+class TestAxiomaticModel:
+    def test_mp_allows_relaxed_outcome(self):
+        env = LocationEnv()
+        program = make_program(
+            [seq(store(env["x"], 1), store(env["y"], 1)),
+             seq(load("r1", env["y"]), load("r2", env["x"]))],
+            env=env,
+        )
+        result = enumerate_axiomatic_outcomes(program)
+        assert result.outcomes.any_satisfies(
+            lambda o: o.reg(1, "r1") == 1 and o.reg(1, "r2") == 0
+        )
+
+    def test_acquire_release_forbids_relaxed_outcome(self):
+        env = LocationEnv()
+        program = make_program(
+            [seq(store(env["x"], 1), store(env["y"], 1, kind=WriteKind.REL)),
+             seq(load("r1", env["y"], kind=ReadKind.ACQ), load("r2", env["x"]))],
+            env=env,
+        )
+        result = enumerate_axiomatic_outcomes(program)
+        assert not result.outcomes.any_satisfies(
+            lambda o: o.reg(1, "r1") == 1 and o.reg(1, "r2") == 0
+        )
+
+    def test_stats_are_populated(self):
+        env = LocationEnv()
+        program = make_program([store(env["x"], 1)], env=env)
+        result = enumerate_axiomatic_outcomes(program)
+        assert result.stats.candidates >= 1
+        assert result.stats.consistent >= 1
+        assert not result.stats.truncated
+
+    def test_final_memory_follows_coherence(self):
+        env = LocationEnv()
+        program = make_program([seq(store(env["x"], 1), store(env["x"], 2))], env=env)
+        result = enumerate_axiomatic_outcomes(program)
+        assert all(o.mem(env["x"]) == 2 for o in result.outcomes)
+
+
+# Catalogue validation (3-threads-or-fewer keeps the run time modest).
+SMALL = [t for t in all_tests() if t.program.n_threads <= 3]
+
+
+@pytest.mark.parametrize("test", SMALL, ids=[t.name for t in SMALL])
+@pytest.mark.parametrize("arch", [Arch.ARM, Arch.RISCV], ids=["arm", "riscv"])
+def test_axiomatic_catalogue_verdicts(test, arch):
+    result = run_axiomatic(test, arch)
+    assert result.verdict is test.expected_verdict(arch), test.name

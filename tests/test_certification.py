@@ -1,0 +1,127 @@
+"""Tests for certification and find_and_certify (§4.3, §B, Thm 6.4)."""
+
+from repro.lang import DMB_SY, R, WriteKind, assign, load, seq, store
+from repro.lang.kinds import Arch
+from repro.promising.certification import (
+    can_complete_without_promising,
+    certified,
+    find_and_certify,
+)
+from repro.promising.state import Memory, Msg, initial_tstate
+from repro.promising.steps import promise_step
+
+W, X, Y, Z, P = 0, 8, 16, 24, 32
+
+
+class TestCertified:
+    def test_no_promises_is_trivially_certified(self):
+        assert certified(load("r1", X), initial_tstate(), Memory(), Arch.ARM, 0)
+
+    def test_fulfillable_promise_is_certified(self):
+        promised = promise_step(store(X, 1), initial_tstate(), Memory(), Msg(X, 1, 0))
+        assert certified(store(X, 1), promised.tstate, promised.memory, Arch.ARM, 0)
+
+    def test_unfulfillable_promise_is_not_certified(self):
+        # The thread promised x := 1 but its program writes x := 2.
+        promised = promise_step(store(X, 2), initial_tstate(), Memory(), Msg(X, 1, 0))
+        assert not certified(store(X, 2), promised.tstate, promised.memory, Arch.ARM, 0)
+
+    def test_data_dependent_promise_needs_the_right_read(self):
+        # r1 := load y; store x r1 — promising x := 1 is only fulfillable if
+        # some write y = 1 exists to read from.
+        stmt = seq(load("r1", Y), store(X, R("r1")))
+        promised = promise_step(stmt, initial_tstate(), Memory(), Msg(X, 1, 0))
+        assert not certified(stmt, promised.tstate, promised.memory, Arch.ARM, 0)
+        memory_with_y, _ = Memory().append(Msg(Y, 1, 9))
+        promised2 = promise_step(stmt, initial_tstate(), memory_with_y, Msg(X, 1, 0))
+        assert certified(stmt, promised2.tstate, promised2.memory, Arch.ARM, 0)
+
+
+class TestFindAndCertify:
+    def test_initial_state_offers_program_writes(self):
+        result = find_and_certify(store(X, 5), initial_tstate(), Memory(), Arch.ARM, 0)
+        assert result.certified
+        assert Msg(X, 5, 0) in result.promises
+
+    def test_data_dependency_blocks_early_promise(self):
+        # LB shape: the store's value copies the load, so only x := 0 can be
+        # promised from the initial memory.
+        stmt = seq(load("r1", Y), store(X, R("r1")))
+        result = find_and_certify(stmt, initial_tstate(), Memory(), Arch.ARM, 0)
+        assert Msg(X, 0, 0) in result.promises
+        assert Msg(X, 1, 0) not in result.promises
+
+    def test_independent_store_can_be_promised_past_a_load(self):
+        stmt = seq(load("r1", Y), store(X, 42))
+        result = find_and_certify(stmt, initial_tstate(), Memory(), Arch.ARM, 0)
+        assert Msg(X, 42, 0) in result.promises
+
+    def test_barrier_blocks_early_promise(self):
+        stmt = seq(load("r1", Y), DMB_SY, store(X, 42))
+        memory, _ = Memory().append(Msg(Y, 1, 9))
+        result = find_and_certify(stmt, initial_tstate(), memory, Arch.ARM, 0)
+        # Reading y at timestamp 1 then dmb gives the store pre-view 1, which
+        # exceeds |M| = 1 only if... the initial read (timestamp 0) keeps the
+        # pre-view at 0, so the promise is still allowed;
+        assert Msg(X, 42, 0) in result.promises
+
+    def test_release_store_after_write_not_promotable_early(self):
+        # §B-style example: a release store ordered after an earlier write of
+        # the same thread cannot be promised before that write is in memory.
+        stmt = seq(store(X, 1), store(Y, 1, kind=WriteKind.REL))
+        result = find_and_certify(stmt, initial_tstate(), Memory(), Arch.ARM, 0)
+        assert Msg(X, 1, 0) in result.promises
+        assert Msg(Y, 1, 0) not in result.promises
+
+    def test_paper_appendix_b_example(self):
+        # Memory [1: w := 1 (T2), 2: z := 1 (T1)], T1 promised z := 1 and is
+        #   a: r1 := load w; b: store x 1; c: store_rel y 1; d: store z r1
+        stmt = seq(
+            load("r1", W),
+            store(X, 1),
+            store(Y, 1, kind=WriteKind.REL),
+            store(Z, R("r1")),
+        )
+        memory, _ = Memory().append(Msg(W, 1, 2))
+        memory, t = memory.append(Msg(Z, 1, 1))
+        ts = initial_tstate()
+        ts.prom = frozenset({t})
+        result = find_and_certify(stmt, ts, memory, Arch.ARM, 1)
+        assert result.certified
+        # x := 1 is promotable (pre-view 0 ≤ 2); y := 1 is not (its pre-view
+        # includes the write of x at timestamp 3 > 2).
+        assert Msg(X, 1, 1) in result.promises
+        assert Msg(Y, 1, 1) not in result.promises
+
+    def test_promises_empty_when_uncertified(self):
+        promised = promise_step(store(X, 2), initial_tstate(), Memory(), Msg(X, 1, 0))
+        result = find_and_certify(store(X, 2), promised.tstate, promised.memory, Arch.ARM, 0)
+        assert not result.certified
+        assert result.promises == frozenset()
+
+    def test_fuel_truncation_is_reported(self):
+        stmt = seq(*[store(X, i) for i in range(1, 8)])
+        result = find_and_certify(stmt, initial_tstate(), Memory(), Arch.ARM, 0, fuel=3)
+        assert not result.complete
+
+
+class TestCanComplete:
+    def test_thread_without_stores_can_complete(self):
+        assert can_complete_without_promising(
+            seq(load("r1", X), assign("a", R("r1"))), initial_tstate(), Memory(), Arch.ARM, 0
+        )
+
+    def test_thread_with_unpromised_store_cannot_complete(self):
+        assert not can_complete_without_promising(
+            store(X, 1), initial_tstate(), Memory(), Arch.ARM, 0
+        )
+
+    def test_thread_with_promised_store_can_complete(self):
+        promised = promise_step(store(X, 1), initial_tstate(), Memory(), Msg(X, 1, 0))
+        assert can_complete_without_promising(
+            store(X, 1), promised.tstate, promised.memory, Arch.ARM, 0
+        )
+
+    def test_exclusive_store_can_complete_by_failing(self):
+        stmt = store(X, 1, exclusive=True, succ_reg="rs")
+        assert can_complete_without_promising(stmt, initial_tstate(), Memory(), Arch.ARM, 0)

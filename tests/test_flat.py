@@ -1,0 +1,79 @@
+"""Tests for the Flat-style baseline model."""
+
+import pytest
+
+from repro.flat import FlatConfig, explore_flat
+from repro.lang import LocationEnv, R, if_, load, make_program, seq, store
+from repro.lang.kinds import Arch
+from repro.litmus import get_test, run_flat, run_promising
+from repro.tools import compare_models
+
+#: Shapes on which the approximate Flat-style model must agree with the
+#: architectural verdict (and hence with the promising model).
+CORE_SHAPES = [
+    "MP", "MP+dmbs", "MP+dmb+addr", "MP+rel+acq", "MP+dmb+ctrlisb",
+    "SB", "SB+dmbs", "LB", "LB+datas", "LB+ctrls",
+    "CoRR", "CoWW", "CoWR", "PPOCA", "2+2W", "2+2W+dmbs",
+]
+
+
+@pytest.mark.parametrize("name", CORE_SHAPES)
+def test_flat_matches_architectural_verdict(name):
+    test = get_test(name)
+    result = run_flat(test)
+    assert result.verdict is test.expected_verdict(Arch.ARM), name
+
+
+@pytest.mark.parametrize("name", ["MP", "SB", "LB", "CoRR"])
+def test_flat_outcomes_contained_in_promising(name):
+    """The baseline under-approximates at worst; it must not invent outcomes."""
+    test = get_test(name)
+    comparison = compare_models(test.program, Arch.ARM, include_flat=True,
+                                include_axiomatic=False)
+    assert comparison.flat_subset_of_promising
+
+
+def test_flat_explores_more_states_than_promising():
+    test = get_test("MP")
+    flat = explore_flat(test.program, FlatConfig())
+    from repro.promising import ExploreConfig, explore
+
+    promising = explore(test.program, ExploreConfig())
+    assert flat.stats.states > promising.stats.promise_states
+
+
+def test_flat_speculation_and_restart_are_exercised():
+    env = LocationEnv()
+    t0 = seq(store(env["x"], 1))
+    t1 = seq(
+        load("r1", env["x"]),
+        # The branch direction depends on the racy read, so one of the two
+        # speculated fetch paths must be squashed in some executions.
+        if_(R("r1").eq(1), load("r2", env["y"]), load("r3", env["y"])),
+    )
+    program = make_program([t0, t1], env=env)
+    result = explore_flat(program, FlatConfig())
+    assert result.stats.restarts > 0
+    assert len(result.outcomes) > 0
+
+
+def test_flat_exclusives_monitor():
+    test = get_test("LSE-atomicity")
+    result = run_flat(test)
+    assert result.verdict is test.expected_verdict(Arch.ARM)
+
+
+def test_flat_window_size_limits_state():
+    test = get_test("MP")
+    small = explore_flat(test.program, FlatConfig(window_size=1))
+    large = explore_flat(test.program, FlatConfig(window_size=8))
+    assert small.stats.states <= large.stats.states
+    # A window of one instruction is effectively in-order execution, which
+    # still terminates and produces outcomes (a strict subset is fine).
+    assert len(small.outcomes) >= 1
+
+
+def test_flat_truncation_reported():
+    test = get_test("MP")
+    result = explore_flat(test.program, FlatConfig(max_states=1))
+    assert result.stats.truncated

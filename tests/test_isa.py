@@ -1,0 +1,228 @@
+"""Tests for the ARMv8/RISC-V assembly front ends and the litmus format."""
+
+import pytest
+
+from repro.isa import (
+    Armv8ParseError,
+    RiscvParseError,
+    StructurisationError,
+    ThreadSource,
+    assemble_program,
+    assemble_thread,
+    assembly_line_count,
+    structurise,
+)
+from repro.isa.armv8 import parse_thread as parse_arm
+from repro.isa.armv8 import normalise_register as arm_reg
+from repro.isa.riscv import parse_thread as parse_rv
+from repro.isa.riscv import normalise_register as rv_reg
+from repro.isa.ir import Branch, StraightLine, ThreadIr
+from repro.lang import (
+    Fence,
+    If,
+    Isb,
+    Load,
+    ReadKind,
+    Store,
+    WriteKind,
+    count_memory_accesses,
+    iter_statements,
+    statement_registers,
+)
+from repro.lang.kinds import Arch
+from repro.litmus.format import LitmusFormatError, parse_litmus
+from repro.litmus import run_promising
+
+
+def arm_stmts(text):
+    ir = parse_arm(text)
+    return [i.stmt for i in ir.instructions if isinstance(i, StraightLine)]
+
+
+def rv_stmts(text):
+    ir = parse_rv(text)
+    return [i.stmt for i in ir.instructions if isinstance(i, StraightLine)]
+
+
+class TestArmParser:
+    def test_register_normalisation(self):
+        assert arm_reg("W5") == "X5"
+        assert arm_reg("x11") == "X11"
+        assert arm_reg("WZR") == "XZR"
+        with pytest.raises(Armv8ParseError):
+            arm_reg("X42")
+        with pytest.raises(Armv8ParseError):
+            arm_reg("SP")
+
+    def test_mov_and_alu(self):
+        mov, add = arm_stmts("MOV X0, #5\nADD X1, X0, X2")
+        assert mov.reg == "X0"
+        assert statement_registers(add) == {"X0", "X1", "X2"}
+
+    @pytest.mark.parametrize(
+        "mnemonic,kind,exclusive",
+        [("LDR", ReadKind.PLN, False), ("LDAR", ReadKind.ACQ, False),
+         ("LDAPR", ReadKind.WACQ, False), ("LDXR", ReadKind.PLN, True),
+         ("LDAXR", ReadKind.ACQ, True)],
+    )
+    def test_load_kinds(self, mnemonic, kind, exclusive):
+        (stmt,) = arm_stmts(f"{mnemonic} X0, [X1]")
+        assert isinstance(stmt, Load)
+        assert stmt.kind is kind and stmt.exclusive is exclusive
+
+    @pytest.mark.parametrize(
+        "line,kind,exclusive",
+        [("STR X0, [X1]", WriteKind.PLN, False), ("STLR X0, [X1]", WriteKind.REL, False),
+         ("STXR W2, X0, [X1]", WriteKind.PLN, True), ("STLXR W2, X0, [X1]", WriteKind.REL, True)],
+    )
+    def test_store_kinds(self, line, kind, exclusive):
+        (stmt,) = arm_stmts(line)
+        assert isinstance(stmt, Store)
+        assert stmt.kind is kind and stmt.exclusive is exclusive
+        if exclusive:
+            assert stmt.succ_reg == "X2"
+
+    def test_addressing_modes(self):
+        imm, reg = arm_stmts("LDR X0, [X1, #8]\nLDR X2, [X1, X3]")
+        assert statement_registers(imm) == {"X0", "X1"}
+        assert statement_registers(reg) == {"X1", "X2", "X3"}
+
+    def test_barriers(self):
+        dmb_sy, dmb_ld, dmb_st, isb = arm_stmts("DMB SY\nDMB LD\nDMB ST\nISB")
+        assert isinstance(dmb_sy, Fence) and isinstance(isb, Isb)
+        assert dmb_ld.before.name == "R"
+        assert dmb_st.after.name == "W"
+
+    def test_zero_register_reads_as_zero(self):
+        (stmt,) = arm_stmts("STR XZR, [X1]")
+        assert stmt.data.value == 0
+
+    def test_cmp_and_conditional_branch(self):
+        ir = parse_arm("CMP X0, #3\nB.EQ out\nMOV X1, #1\nout: NOP")
+        assert isinstance(ir.instructions[1], Branch)
+        assert ir.labels["out"] == 3
+
+    def test_cbz_cbnz(self):
+        ir = parse_arm("CBZ X0, end\nCBNZ X1, end\nend: NOP")
+        assert all(isinstance(i, Branch) for i in ir.instructions[:2])
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(Armv8ParseError):
+            parse_arm("LDADD X0, X1, [X2]")
+
+    def test_comments_and_semicolons(self):
+        ir = parse_arm("MOV X0, #1 // set up\n; \nSTR X0, [X1]")
+        assert len(ir.instructions) == 2
+
+
+class TestRiscvParser:
+    def test_register_normalisation(self):
+        assert rv_reg("a0") == "x10"
+        assert rv_reg("t0") == "x5"
+        assert rv_reg("zero") == "x0"
+        with pytest.raises(RiscvParseError):
+            rv_reg("x99")
+
+    def test_loads_and_stores(self):
+        lw, sw = rv_stmts("lw a0, 0(a1)\nsw a0, 8(a1)")
+        assert isinstance(lw, Load) and isinstance(sw, Store)
+        assert statement_registers(sw) == {"x10", "x11"}
+
+    def test_lr_sc_orderings(self):
+        plain, acq = rv_stmts("lr.w a0, (a1)\nlr.w.aq a0, (a1)")
+        assert plain.kind is ReadKind.PLN and plain.exclusive
+        assert acq.kind is ReadKind.ACQ
+        (sc,) = rv_stmts("sc.w.rl a2, a0, (a1)")
+        assert sc.exclusive and sc.kind is WriteKind.REL and sc.succ_reg == "x12"
+
+    def test_fences(self):
+        f, tso, nop = rv_stmts("fence rw, w\nfence.tso\nfence.i")
+        assert isinstance(f, Fence) and f.after.name == "W"
+        assert count_memory_accesses(tso) == 0
+
+    def test_branches_and_labels(self):
+        ir = parse_rv("beq a0, a1, done\nbnez a2, done\nj done\ndone: nop")
+        assert sum(isinstance(i, Branch) for i in ir.instructions) == 3
+        assert ir.labels["done"] == 3
+
+    def test_x0_writes_discarded(self):
+        (stmt,) = rv_stmts("li x0, 5")
+        assert stmt.reg == "_discard"
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(RiscvParseError):
+            parse_rv("amoswap.w a0, a1, (a2)")
+
+
+class TestStructurisation:
+    def test_forward_branch_becomes_if(self):
+        stmt = assemble_thread("CBZ X0, skip\nMOV X1, #1\nskip: NOP", Arch.ARM)
+        assert any(isinstance(node, If) for node in iter_statements(stmt))
+
+    def test_backward_branch_bounded(self):
+        text = "loop: LDR X0, [X1]\nCBZ X0, loop\nMOV X2, #1"
+        bounded = assemble_thread(text, Arch.ARM, unroll_bound=3)
+        assert count_memory_accesses(bounded) == 3
+
+    def test_missing_label_raises(self):
+        ir = ThreadIr((Branch("nowhere", None),), {})
+        with pytest.raises(StructurisationError):
+            structurise(ir)
+
+    def test_bad_unroll_bound(self):
+        with pytest.raises(ValueError):
+            structurise(ThreadIr((), {}), unroll_bound=0)
+
+    def test_register_initialisation_prefix(self):
+        stmt = assemble_thread(ThreadSource("LDR X0, [X1]", {"X1": 64}), Arch.ARM)
+        assert "X1" in statement_registers(stmt)
+
+    def test_assembly_line_count(self):
+        assert assembly_line_count(["MOV X0, #1\nSTR X0, [X1]", "label:\nNOP"]) == 3
+
+
+class TestLitmusFormat:
+    MP = """AArch64 MP+dmb+addr
+{
+  0:X1=x; 0:X3=y;
+  1:X1=y; 1:X3=x;
+}
+ P0          | P1             ;
+ MOV W0,#1   | LDR W0,[X1]    ;
+ STR W0,[X1] | EOR W2,W0,W0   ;
+ DMB SY      | LDR W4,[X3,W2] ;
+ STR W0,[X3] |                ;
+exists (1:X0=1 /\\ 1:X4=0)
+"""
+
+    def test_parse_and_run(self):
+        parsed = parse_litmus(self.MP)
+        assert parsed.arch is Arch.ARM
+        assert parsed.test.name == "MP+dmb+addr"
+        assert parsed.test.program.n_threads == 2
+        result = run_promising(parsed.test, parsed.arch)
+        assert result.verdict.value == "forbidden"
+
+    def test_initial_memory_values(self):
+        text = self.MP.replace("1:X3=x;", "1:X3=x; x=5;")
+        parsed = parse_litmus(text)
+        locs = {name: loc for loc, name in parsed.test.program.loc_names.items()}
+        assert parsed.test.program.initial_value(locs["x"]) == 5
+
+    def test_riscv_header(self):
+        text = """RISCV LB
+{ 0:a0=x; 1:a0=y; }
+ P0           | P1           ;
+ lw a1, 0(a0) | lw a1, 0(a0) ;
+exists (0:a1=0)
+"""
+        parsed = parse_litmus(text)
+        assert parsed.arch is Arch.RISCV
+
+    def test_missing_condition_rejected(self):
+        with pytest.raises(LitmusFormatError):
+            parse_litmus("AArch64 T\n{ }\n P0 ;\n NOP ;\n")
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(LitmusFormatError):
+            parse_litmus("X86 T\n{ }\n P0 ;\n NOP ;\nexists (0:X0=0)")

@@ -1,0 +1,117 @@
+"""Unit tests for the expression language."""
+
+import pytest
+
+from repro.lang.expr import (
+    BinOp,
+    Const,
+    R,
+    RegE,
+    dependency_idiom,
+    eval_expr,
+    expr_constants,
+    expr_registers,
+    iter_subexpressions,
+    rename_registers,
+    substitute,
+    to_expr,
+)
+
+
+class TestConstruction:
+    def test_to_expr_int(self):
+        assert to_expr(5) == Const(5)
+
+    def test_to_expr_passthrough(self):
+        expr = R("r1")
+        assert to_expr(expr) is expr
+
+    def test_to_expr_bool_normalised(self):
+        assert to_expr(True) == Const(1)
+
+    def test_to_expr_rejects_strings(self):
+        with pytest.raises(TypeError):
+            to_expr("r1")
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Const(1), Const(2))
+
+    def test_operator_overloads(self):
+        expr = R("r1") + 1
+        assert expr == BinOp("+", RegE("r1"), Const(1))
+        assert (R("r1") - R("r2")).op == "-"
+        assert (1 + R("r1")).left == Const(1)
+        assert (R("a") * 2).op == "*"
+        assert (R("a") & R("b")).op == "&"
+        assert (R("a") | 1).op == "|"
+        assert (R("a") ^ 1).op == "^"
+
+    def test_comparison_builders(self):
+        assert R("r1").eq(3).op == "=="
+        assert R("r1").ne(3).op == "!="
+        assert R("r1").lt(3).op == "<"
+        assert R("r1").ge(3).op == ">="
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert eval_expr(Const(7), {}) == 7
+
+    def test_register_lookup(self):
+        assert eval_expr(R("r1"), {"r1": 42}) == 42
+
+    def test_missing_register_reads_zero(self):
+        assert eval_expr(R("r9"), {}) == 0
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 7), ("-", 3), ("*", 10), ("&", 0), ("|", 7), ("^", 7)],
+    )
+    def test_arithmetic(self, op, expected):
+        assert eval_expr(BinOp(op, Const(5), Const(2)), {}) == expected
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [("==", 3, 3, 1), ("==", 3, 4, 0), ("!=", 3, 4, 1), ("<", 1, 2, 1),
+         ("<=", 2, 2, 1), (">", 2, 1, 1), (">=", 1, 2, 0)],
+    )
+    def test_comparisons_return_bits(self, op, a, b, expected):
+        assert eval_expr(BinOp(op, Const(a), Const(b)), {}) == expected
+
+    def test_nested_expression(self):
+        expr = (R("a") + R("b")) * 2
+        assert eval_expr(expr, {"a": 3, "b": 4}) == 14
+
+    def test_dependency_idiom_value_is_base(self):
+        expr = dependency_idiom(100, "r1")
+        assert eval_expr(expr, {"r1": 55}) == 100
+
+
+class TestStructure:
+    def test_expr_registers(self):
+        expr = (R("a") + R("b")) + (R("a") - 1)
+        assert expr_registers(expr) == {"a", "b"}
+
+    def test_dependency_idiom_mentions_register(self):
+        assert expr_registers(dependency_idiom(0, "r7")) == {"r7"}
+
+    def test_expr_constants(self):
+        assert expr_constants((R("a") + 3) * 5) == {3, 5}
+
+    def test_substitute(self):
+        expr = substitute(R("a") + R("b"), {"a": Const(1)})
+        assert eval_expr(expr, {"b": 2}) == 3
+
+    def test_rename_registers(self):
+        expr = rename_registers(R("a") + R("b"), {"a": "x"})
+        assert expr_registers(expr) == {"x", "b"}
+
+    def test_iter_subexpressions(self):
+        expr = R("a") + 1
+        nodes = list(iter_subexpressions(expr))
+        assert expr in nodes and Const(1) in nodes and RegE("a") in nodes
+        assert len(nodes) == 3
+
+    def test_expressions_are_hashable(self):
+        assert len({R("a") + 1, R("a") + 1, R("a") + 2}) == 2

@@ -1,0 +1,139 @@
+"""Tests for outcomes, outcome sets, and litmus conditions."""
+
+import pytest
+
+from repro.litmus.conditions import (
+    And,
+    MemEq,
+    Not,
+    Or,
+    RegEq,
+    TrueCond,
+    cond_and,
+    cond_or,
+    parse_condition,
+)
+from repro.outcomes import Outcome, OutcomeSet
+
+
+def sample_outcome():
+    return Outcome.make([{"r1": 1, "r2": 0}, {"r1": 5}], {0: 7, 8: 0})
+
+
+class TestOutcome:
+    def test_reg_and_mem_lookup(self):
+        outcome = sample_outcome()
+        assert outcome.reg(0, "r1") == 1
+        assert outcome.reg(1, "r1") == 5
+        assert outcome.reg(1, "missing") == 0
+        assert outcome.mem(0) == 7
+        assert outcome.mem(999) == 0
+
+    def test_equality_and_hash(self):
+        assert sample_outcome() == sample_outcome()
+        assert hash(sample_outcome()) == hash(sample_outcome())
+
+    def test_project_registers(self):
+        projected = sample_outcome().project({0: ["r1"], 1: []}, [0])
+        assert projected.regs_of(0) == {"r1": 1}
+        assert projected.regs_of(1) == {}
+        assert projected.memory_dict() == {0: 7}
+
+    def test_project_default_keeps_everything(self):
+        assert sample_outcome().project() == sample_outcome()
+
+    def test_describe_hides_internal_registers(self):
+        outcome = Outcome.make([{"r1": 1, "_scratch": 9}], {})
+        assert "_scratch" not in outcome.describe()
+
+    def test_describe_uses_location_names(self):
+        assert "x=7" in sample_outcome().describe({0: "x"})
+
+
+class TestOutcomeSet:
+    def test_set_semantics(self):
+        outcomes = OutcomeSet([sample_outcome(), sample_outcome()])
+        assert len(outcomes) == 1
+        assert sample_outcome() in outcomes
+
+    def test_any_and_all(self):
+        outcomes = OutcomeSet([sample_outcome()])
+        assert outcomes.any_satisfies(lambda o: o.reg(0, "r1") == 1)
+        assert outcomes.all_satisfy(lambda o: o.mem(0) == 7)
+        assert not outcomes.any_satisfies(lambda o: o.reg(0, "r1") == 2)
+
+    def test_filter_and_project(self):
+        outcomes = OutcomeSet([sample_outcome()])
+        assert len(outcomes.filter(lambda o: o.mem(0) == 7)) == 1
+        assert len(outcomes.project({0: ["r1"], 1: []}, [])) == 1
+
+    def test_equality_with_plain_sets(self):
+        outcomes = OutcomeSet([sample_outcome()])
+        assert outcomes == {sample_outcome()}
+
+    def test_describe_sorted(self):
+        a = Outcome.make([{"r1": 2}], {})
+        b = Outcome.make([{"r1": 1}], {})
+        text = OutcomeSet([a, b]).describe()
+        assert text.index("r1=1") < text.index("r1=2")
+
+
+class TestConditions:
+    def test_atoms(self):
+        outcome = sample_outcome()
+        assert RegEq(0, "r1", 1).holds(outcome)
+        assert not RegEq(0, "r1", 2).holds(outcome)
+        assert MemEq(0, 7).holds(outcome)
+
+    def test_connectives(self):
+        outcome = sample_outcome()
+        assert (RegEq(0, "r1", 1) & MemEq(0, 7)).holds(outcome)
+        assert (RegEq(0, "r1", 2) | MemEq(0, 7)).holds(outcome)
+        assert (~RegEq(0, "r1", 2)).holds(outcome)
+        assert TrueCond().holds(outcome)
+
+    def test_nary_builders(self):
+        assert isinstance(cond_and(), TrueCond)
+        assert isinstance(cond_and(RegEq(0, "a", 1)), RegEq)
+        assert isinstance(cond_and(RegEq(0, "a", 1), RegEq(0, "b", 1)), And)
+        assert not cond_or().holds(sample_outcome())
+
+    def test_observables(self):
+        cond = cond_and(RegEq(1, "r1", 5), Not(MemEq(8, 1, "y")))
+        assert cond.registers() == {(1, "r1")}
+        assert cond.locations() == {8}
+
+    def test_repr_round_trips_visually(self):
+        cond = cond_and(RegEq(1, "r1", 42), MemEq(0, 2, "x"))
+        assert "1:r1=42" in repr(cond) and "x=2" in repr(cond)
+
+
+class TestConditionParser:
+    def test_simple_conjunction(self):
+        cond = parse_condition("1:r1=42 /\\ 0:r2=0")
+        assert cond.holds(Outcome.make([{"r2": 0}, {"r1": 42}], {}))
+        assert not cond.holds(Outcome.make([{"r2": 1}, {"r1": 42}], {}))
+
+    def test_memory_atoms_need_location_table(self):
+        cond = parse_condition("x=2", {"x": 16})
+        assert cond.holds(Outcome.make([], {16: 2}))
+        with pytest.raises(ValueError):
+            parse_condition("y=2", {"x": 16})
+
+    def test_precedence_and_parentheses(self):
+        cond = parse_condition("(0:a=1 \\/ 0:b=1) /\\ ~(0:c=1)")
+        assert cond.holds(Outcome.make([{"a": 1, "c": 0}], {}))
+        assert not cond.holds(Outcome.make([{"a": 1, "c": 1}], {}))
+
+    def test_alternative_operator_spellings(self):
+        cond = parse_condition("0:a=1 && 0:b=2 || 0:c=3")
+        assert cond.holds(Outcome.make([{"c": 3}], {}))
+
+    def test_empty_condition_is_true(self):
+        assert parse_condition("").holds(sample_outcome())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_condition("0:a=1 /\\")
+        with pytest.raises(ValueError):
+            parse_condition("(0:a=1")

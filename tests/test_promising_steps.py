@@ -1,0 +1,289 @@
+"""Unit tests for the thread-local step rules of Fig. 5 / §A.3."""
+
+import pytest
+
+from repro.lang import (
+    DMB_LD,
+    DMB_ST,
+    DMB_SY,
+    Isb,
+    R,
+    ReadKind,
+    Skip,
+    WriteKind,
+    assign,
+    if_,
+    load,
+    seq,
+    store,
+    while_,
+)
+from repro.lang.kinds import Arch, VFAIL, VSUCC
+from repro.promising.state import Memory, Msg, initial_tstate
+from repro.promising.steps import (
+    is_terminated,
+    normal_write_steps,
+    normalise,
+    promise_step,
+    sequential_steps,
+    thread_local_steps,
+)
+
+X, Y, Z = 0, 8, 16
+
+
+def memory_with(*msgs):
+    memory = Memory()
+    for msg in msgs:
+        memory, _ = memory.append(msg)
+    return memory
+
+
+class TestNormalisation:
+    def test_skip_seq_collapses(self):
+        assert normalise(seq(Skip(), assign("a", 1))) == assign("a", 1)
+
+    def test_while_unfolds_to_if(self):
+        stmt = normalise(while_(R("r").eq(0), assign("a", 1)))
+        assert stmt.__class__.__name__ == "If"
+
+    def test_is_terminated(self):
+        assert is_terminated(Skip())
+        assert is_terminated(seq(Skip(), Skip()))
+        assert not is_terminated(assign("a", 1))
+
+
+class TestReadRule:
+    def test_read_can_take_any_same_location_write(self):
+        memory = memory_with(Msg(X, 1, 0), Msg(X, 2, 0), Msg(Y, 9, 0))
+        steps = thread_local_steps(load("r1", X), initial_tstate(), memory, Arch.ARM, 1)
+        assert sorted(s.value for s in steps) == [0, 1, 2]
+
+    def test_read_records_post_view_in_register(self):
+        memory = memory_with(Msg(X, 1, 0))
+        (step,) = [s for s in thread_local_steps(load("r1", X), initial_tstate(), memory, Arch.ARM, 1) if s.timestamp == 1]
+        assert step.tstate.reg("r1") == (1, 1)
+        assert step.tstate.vrOld == 1
+        assert step.tstate.coh_view(X) == 1
+
+    def test_coherence_forbids_old_reads(self):
+        memory = memory_with(Msg(X, 1, 0), Msg(X, 2, 0))
+        ts = initial_tstate()
+        ts.coh[X] = 2
+        steps = thread_local_steps(load("r1", X), ts, memory, Arch.ARM, 1)
+        assert [s.value for s in steps] == [2]
+
+    def test_vrnew_constrains_reads(self):
+        memory = memory_with(Msg(X, 1, 0), Msg(Y, 2, 0))
+        ts = initial_tstate()
+        ts.vrNew = 1  # has "seen" the write to X at timestamp 1
+        steps = thread_local_steps(load("r1", X), ts, memory, Arch.ARM, 1)
+        assert [s.value for s in steps] == [1]
+
+    def test_address_dependency_constrains_via_register_view(self):
+        memory = memory_with(Msg(X, 37, 0), Msg(Y, 42, 0))
+        ts = initial_tstate()
+        ts.regs["r1"] = (42, 2)
+        dependent = load("r2", R("r1") - R("r1"))  # address == X with a dependency
+        steps = thread_local_steps(dependent, ts, memory, Arch.ARM, 1)
+        assert [s.value for s in steps] == [37]
+
+    def test_acquire_read_bumps_vrnew_vwnew(self):
+        memory = memory_with(Msg(X, 1, 0))
+        (step,) = [s for s in thread_local_steps(load("r1", X, kind=ReadKind.ACQ), initial_tstate(), memory, Arch.ARM, 1) if s.timestamp == 1]
+        assert step.tstate.vrNew == 1 and step.tstate.vwNew == 1
+
+    def test_plain_read_leaves_vrnew(self):
+        memory = memory_with(Msg(X, 1, 0))
+        (step,) = [s for s in thread_local_steps(load("r1", X), initial_tstate(), memory, Arch.ARM, 1) if s.timestamp == 1]
+        assert step.tstate.vrNew == 0
+
+    def test_strong_acquire_ordered_after_vrel(self):
+        memory = memory_with(Msg(X, 1, 0), Msg(Y, 2, 0))
+        ts = initial_tstate()
+        ts.vRel = 1
+        plain = thread_local_steps(load("r1", X), ts, memory, Arch.ARM, 1)
+        acquire = thread_local_steps(load("r1", X, kind=ReadKind.ACQ), ts, memory, Arch.ARM, 1)
+        assert sorted(s.value for s in plain) == [0, 1]
+        assert [s.value for s in acquire] == [1]
+
+    def test_exclusive_read_sets_xclb(self):
+        memory = memory_with(Msg(X, 1, 0))
+        (step,) = [s for s in thread_local_steps(load("r1", X, exclusive=True), initial_tstate(), memory, Arch.ARM, 1) if s.timestamp == 1]
+        assert step.tstate.xclb == (1, 1)
+
+
+class TestForwarding:
+    def test_forwarded_read_gets_small_view(self):
+        ts = initial_tstate()
+        memory = Memory()
+        # the thread writes X (timestamp 1) and forwards it to its own read
+        (write,) = normal_write_steps(store(X, 5), ts, memory, Arch.ARM, 0)
+        (read,) = [
+            s
+            for s in thread_local_steps(load("r1", X), write.tstate, write.memory, Arch.ARM, 0)
+            if s.timestamp == 1
+        ]
+        assert read.tstate.reg("r1") == (5, 0)  # forward view, not timestamp 1
+
+    def test_other_thread_read_gets_timestamp_view(self):
+        ts = initial_tstate()
+        memory = Memory()
+        (write,) = normal_write_steps(store(X, 5), ts, memory, Arch.ARM, 0)
+        (read,) = [
+            s
+            for s in thread_local_steps(load("r1", X), initial_tstate(), write.memory, Arch.ARM, 1)
+            if s.timestamp == 1
+        ]
+        assert read.tstate.reg("r1") == (5, 1)
+
+    def test_no_forwarding_from_exclusive_write_for_acquire(self):
+        ts = initial_tstate()
+        ts.xclb = None
+        memory = Memory()
+        # exclusive write needs a prior load exclusive
+        (lx,) = [s for s in thread_local_steps(load("r0", X, exclusive=True), ts, memory, Arch.ARM, 0) if s.timestamp == 0]
+        writes = normal_write_steps(
+            store(X, 5, exclusive=True, succ_reg="rs"), lx.tstate, memory, Arch.ARM, 0
+        )
+        write = next(s for s in writes if s.kind == "write")
+        (acq_read,) = [
+            s
+            for s in thread_local_steps(load("r1", X, kind=ReadKind.ACQ), write.tstate, write.memory, Arch.ARM, 0)
+            if s.timestamp == 1
+        ]
+        assert acq_read.tstate.reg("r1")[1] == 1  # no forwarding: full timestamp view
+
+
+class TestFences:
+    def test_dmb_sy_merges_both_old_views(self):
+        ts = initial_tstate()
+        ts.vrOld, ts.vwOld = 3, 5
+        (step,) = thread_local_steps(DMB_SY, ts, Memory(), Arch.ARM, 0)
+        assert step.tstate.vrNew == 5 and step.tstate.vwNew == 5
+
+    def test_dmb_ld_merges_only_read_old(self):
+        ts = initial_tstate()
+        ts.vrOld, ts.vwOld = 3, 5
+        (step,) = thread_local_steps(DMB_LD, ts, Memory(), Arch.ARM, 0)
+        assert step.tstate.vrNew == 3 and step.tstate.vwNew == 3
+
+    def test_dmb_st_orders_only_writes(self):
+        ts = initial_tstate()
+        ts.vrOld, ts.vwOld = 3, 5
+        (step,) = thread_local_steps(DMB_ST, ts, Memory(), Arch.ARM, 0)
+        assert step.tstate.vrNew == 0 and step.tstate.vwNew == 5
+
+    def test_isb_merges_vcap_into_vrnew(self):
+        ts = initial_tstate()
+        ts.vCAP = 4
+        (step,) = thread_local_steps(Isb(), ts, Memory(), Arch.ARM, 0)
+        assert step.tstate.vrNew == 4
+
+
+class TestBranchesAndAssign:
+    def test_branch_updates_vcap_and_picks_branch(self):
+        ts = initial_tstate()
+        ts.regs["r1"] = (1, 6)
+        stmt = if_(R("r1").eq(1), assign("a", 1), assign("a", 2))
+        (step,) = thread_local_steps(stmt, ts, Memory(), Arch.ARM, 0)
+        assert step.tstate.vCAP == 6
+        assert step.stmt == assign("a", 1)
+
+    def test_branch_not_taken(self):
+        ts = initial_tstate()
+        stmt = if_(R("r1").eq(1), assign("a", 1), assign("a", 2))
+        (step,) = thread_local_steps(stmt, ts, Memory(), Arch.ARM, 0)
+        assert step.stmt == assign("a", 2)
+
+    def test_assign_carries_view(self):
+        ts = initial_tstate()
+        ts.regs["r1"] = (10, 3)
+        (step,) = thread_local_steps(assign("r2", R("r1") + 1), ts, Memory(), Arch.ARM, 0)
+        assert step.tstate.reg("r2") == (11, 3)
+
+
+class TestWritesAndPromises:
+    def test_normal_write_appends_message(self):
+        (step,) = normal_write_steps(store(X, 5), initial_tstate(), Memory(), Arch.ARM, 3)
+        assert step.memory.msg(1) == Msg(X, 5, 3)
+        assert step.tstate.prom == frozenset()
+        assert step.tstate.vwOld == 1
+        assert step.tstate.coh_view(X) == 1
+
+    def test_release_write_updates_vrel(self):
+        (step,) = normal_write_steps(
+            store(X, 5, kind=WriteKind.REL), initial_tstate(), Memory(), Arch.ARM, 0
+        )
+        assert step.tstate.vRel == 1
+
+    def test_promise_step_records_obligation(self):
+        step = promise_step(store(X, 5), initial_tstate(), Memory(), Msg(X, 5, 0))
+        assert step.tstate.prom == {1}
+        assert step.memory.last_timestamp == 1
+
+    def test_fulfil_requires_matching_message(self):
+        promised = promise_step(store(X, 5), initial_tstate(), Memory(), Msg(X, 6, 0))
+        steps = thread_local_steps(store(X, 5), promised.tstate, promised.memory, Arch.ARM, 0)
+        assert steps == []  # value mismatch: cannot fulfil
+
+    def test_fulfil_requires_preview_below_timestamp(self):
+        promised = promise_step(store(X, 5), initial_tstate(), Memory(), Msg(X, 5, 0))
+        ts = promised.tstate.copy()
+        ts.vwNew = 1  # as strong as the promised timestamp → cannot fulfil
+        assert thread_local_steps(store(X, 5), ts, promised.memory, Arch.ARM, 0) == []
+        ts.vwNew = 0
+        assert len(thread_local_steps(store(X, 5), ts, promised.memory, Arch.ARM, 0)) == 1
+
+    def test_sequential_steps_include_writes(self):
+        kinds = {s.kind for s in sequential_steps(store(X, 1), initial_tstate(), Memory(), Arch.ARM, 0)}
+        assert "write" in kinds
+
+
+class TestExclusives:
+    def _after_load_exclusive(self, arch, timestamp=0, memory=None):
+        memory = memory or Memory()
+        steps = thread_local_steps(load("r0", X, exclusive=True), initial_tstate(), memory, arch, 0)
+        return next(s for s in steps if s.timestamp == timestamp)
+
+    def test_store_exclusive_can_always_fail(self):
+        steps = thread_local_steps(
+            store(X, 1, exclusive=True, succ_reg="rs"), initial_tstate(), Memory(), Arch.ARM, 0
+        )
+        fails = [s for s in steps if s.kind == "xcl-fail"]
+        assert len(fails) == 1
+        assert fails[0].tstate.reg("rs") == (VFAIL, 0)
+        assert fails[0].tstate.xclb is None
+
+    def test_store_exclusive_needs_xclb_to_succeed(self):
+        steps = normal_write_steps(
+            store(X, 1, exclusive=True, succ_reg="rs"), initial_tstate(), Memory(), Arch.ARM, 0
+        )
+        assert steps == []
+
+    def test_successful_store_exclusive_success_register_views(self):
+        for arch, expected_view in ((Arch.ARM, 0), (Arch.RISCV, 1)):
+            lx = self._after_load_exclusive(arch)
+            writes = normal_write_steps(
+                store(X, 1, exclusive=True, succ_reg="rs"), lx.tstate, Memory(), arch, 0
+            )
+            write = next(s for s in writes)
+            assert write.tstate.reg("rs") == (VSUCC, expected_view)
+            assert write.tstate.xclb is None
+
+    def test_atomicity_blocks_intervening_foreign_write(self):
+        # Load exclusive reads the initial write; another thread then writes X.
+        lx = self._after_load_exclusive(Arch.ARM)
+        memory, _ = Memory().append(Msg(X, 9, 7))  # foreign write at timestamp 1
+        writes = normal_write_steps(
+            store(X, 1, exclusive=True, succ_reg="rs"), lx.tstate, memory, Arch.ARM, 0
+        )
+        assert writes == []  # cannot succeed atomically
+
+    def test_atomicity_allows_own_intervening_write(self):
+        lx = self._after_load_exclusive(Arch.ARM)
+        memory, _ = Memory().append(Msg(X, 9, 0))  # same thread's write
+        writes = normal_write_steps(
+            store(X, 1, exclusive=True, succ_reg="rs"), lx.tstate, memory, Arch.ARM, 0
+        )
+        assert len(writes) == 1

@@ -1,0 +1,122 @@
+"""Tests for the evaluation workloads (§8): builders and safety checkers.
+
+Exploration here uses the smallest interesting configurations so the suite
+stays fast; the larger sweeps live in the benchmark harness.
+"""
+
+import pytest
+
+from repro.lang import count_memory_accesses
+from repro.lang.kinds import Arch
+from repro.promising import ExploreConfig, explore
+from repro.workloads import (
+    FAMILIES,
+    chase_lev,
+    chase_lev_from_spec,
+    ms_queue,
+    ms_queue_from_spec,
+    spinlock_asm,
+    spinlock_cxx,
+    spinlock_rust,
+    spmc_queue,
+    spsc_queue,
+    ticket_lock,
+    treiber_from_spec,
+    treiber_stack,
+)
+
+
+def outcomes_of(workload, loop_bound=2):
+    result = explore(workload.program, ExploreConfig(arch=Arch.ARM, loop_bound=loop_bound))
+    assert not result.stats.truncated, workload.name
+    assert len(result.outcomes) > 0
+    return result.outcomes
+
+
+class TestBuilders:
+    def test_family_registry_is_complete(self):
+        assert set(FAMILIES) == {"SLA", "SLC", "SLR", "PCS", "PCM", "TL",
+                                 "STC", "STR", "DQ", "QU"}
+        for family in FAMILIES.values():
+            workload = family.builder()
+            assert workload.program.n_threads >= 1
+            assert workload.name
+
+    def test_spec_parsers(self):
+        assert treiber_from_spec("100-010-000").program.n_threads == 3
+        assert ms_queue_from_spec("100-010-000").program.n_threads == 3
+        assert chase_lev_from_spec("110-1-0").program.n_threads == 2
+        with pytest.raises(ValueError):
+            treiber_from_spec("1x0-000-000")
+        with pytest.raises(ValueError):
+            ms_queue_from_spec("10-01")
+
+    def test_workload_sizes_scale_with_parameters(self):
+        small = spinlock_cxx(2, 1)
+        large = spinlock_cxx(2, 2)
+        assert (count_memory_accesses(large.program.threads[0])
+                > count_memory_accesses(small.program.threads[0]))
+
+    def test_sla_records_assembly_lines(self):
+        workload = spinlock_asm(2, 1)
+        assert getattr(workload, "assembly_lines") > 10
+
+
+class TestLocks:
+    @pytest.mark.parametrize(
+        "factory", [spinlock_cxx, spinlock_rust, ticket_lock],
+        ids=["SLC", "SLR", "TL"],
+    )
+    def test_mutual_exclusion_holds(self, factory):
+        workload = factory(2, 1)
+        outcomes = outcomes_of(workload)
+        assert workload.violations(outcomes) == []
+        assert workload.check(outcomes)
+
+    def test_assembly_spinlock_mutual_exclusion(self):
+        workload = spinlock_asm(2, 1)
+        outcomes = outcomes_of(workload)
+        assert workload.violations(outcomes) == []
+
+
+class TestDataStructures:
+    def test_treiber_stack_is_safe(self):
+        workload = treiber_stack(("p", "o"))
+        assert workload.check(outcomes_of(workload))
+
+    def test_treiber_stack_relaxed_push_is_buggy(self):
+        workload = treiber_stack(("p", "o"), name="STC(rlx)", release_push=False)
+        outcomes = outcomes_of(workload)
+        assert workload.expected_violation
+        assert workload.violations(outcomes), "the relaxed push must be caught"
+        assert workload.check(outcomes)
+
+    def test_ms_queue_is_safe(self):
+        workload = ms_queue(("e", "d"))
+        assert workload.check(outcomes_of(workload))
+
+    def test_ms_queue_relaxed_publication_is_buggy(self):
+        """The §8 case study: the relaxed queue publishes nodes before their data."""
+        workload = ms_queue(("e", "d"), name="QU(rlx)", release_link=False)
+        outcomes = outcomes_of(workload)
+        violations = workload.violations(outcomes)
+        assert violations, "the publication bug must be observable"
+        # The violating outcome is precisely a dequeue of the uninitialised 0.
+        assert any(v.reg(1, "rdeq1_0") == 0 for v in violations)
+
+    def test_spsc_queue_is_safe(self):
+        workload = spsc_queue(1, 1)
+        assert workload.check(outcomes_of(workload))
+
+    def test_spmc_queue_is_safe(self):
+        workload = spmc_queue(1, (1,))
+        assert workload.check(outcomes_of(workload))
+
+    def test_chase_lev_push_steal_is_safe(self):
+        workload = chase_lev("p", (1,))
+        assert workload.check(outcomes_of(workload))
+
+    def test_chase_lev_naming_from_spec(self):
+        workload = chase_lev_from_spec("100-1-0")
+        assert workload.name == "DQ-100-1-0"
+        assert workload.program.n_threads == 2
