@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import pytest
 
+from repro.harness import Job, run_jobs
 from repro.lang.kinds import Arch
 from repro.litmus import get_test
-from repro.promising import ExploreConfig, explore, explore_naive
+from repro.promising import ExploreConfig, explore
 from repro.workloads import spinlock_cxx, spsc_queue
+
+pytestmark = pytest.mark.bench
 
 _rows: list[list[object]] = []
 
@@ -29,17 +32,19 @@ CASES = [
 @pytest.mark.parametrize("label,builder", CASES, ids=[c[0] for c in CASES])
 def test_promise_first_vs_naive(benchmark, label, builder):
     program = builder()
-    config = ExploreConfig(arch=Arch.ARM)
-    fast = benchmark.pedantic(lambda: explore(program, config), rounds=1, iterations=1)
-    slow = explore_naive(program, config)
+    fast_job = Job.for_program(program, "promising", Arch.ARM, name=label)
+    slow_job = Job.for_program(program, "promising-naive", Arch.ARM, name=label)
+    fast = benchmark.pedantic(lambda: run_jobs([fast_job])[0], rounds=1, iterations=1)
+    slow = run_jobs([slow_job])[0]
+    assert fast.ok and slow.ok, label
     assert set(fast.outcomes) == set(slow.outcomes), label
     _rows.append(
-        [label, "promise-first", f"{fast.stats.elapsed_seconds:.3f}s", fast.stats.promise_states]
+        [label, "promise-first", f"{fast.elapsed_seconds:.3f}s", fast.stats["promise_states"]]
     )
     _rows.append(
-        [label, "naive interleaving", f"{slow.stats.elapsed_seconds:.3f}s", slow.stats.promise_states]
+        [label, "naive interleaving", f"{slow.elapsed_seconds:.3f}s", slow.stats["promise_states"]]
     )
-    assert slow.stats.promise_states >= fast.stats.promise_states
+    assert slow.stats["promise_states"] >= fast.stats["promise_states"]
 
 
 def test_local_location_optimisation(benchmark):
@@ -55,6 +60,35 @@ def test_local_location_optimisation(benchmark):
                   without_opt.stats.promise_states])
     assert workload.check(with_opt.outcomes) and workload.check(without_opt.outcomes)
     assert without_opt.stats.promise_states >= with_opt.stats.promise_states
+
+
+def test_tightened_unit_test_bounds_preserve_outcomes(benchmark):
+    """The unit suite explores locks with tightened retry bounds; this
+    pins the claims that justify it: SLR with one swap attempt has the
+    identical outcome set to the two-attempt default, and TL passes the
+    same mutual-exclusion safety check at both spin bounds."""
+    from repro.workloads import spinlock_rust, ticket_lock
+
+    def explore_both():
+        slr = [
+            explore(spinlock_rust(2, 1, attempts).program, ExploreConfig(arch=Arch.ARM))
+            for attempts in (1, 2)
+        ]
+        tl = [
+            explore(ticket_lock(2, 1, spins).program, ExploreConfig(arch=Arch.ARM))
+            for spins in (2, 3)
+        ]
+        return slr, tl
+
+    (slr_tight, slr_default), (tl_tight, tl_default) = benchmark.pedantic(
+        explore_both, rounds=1, iterations=1
+    )
+    assert set(slr_tight.outcomes) == set(slr_default.outcomes)
+    tight_lock = ticket_lock(2, 1, 2)
+    default_lock = ticket_lock(2, 1, 3)
+    assert tight_lock.check(tl_tight.outcomes) and default_lock.check(tl_default.outcomes)
+    assert tight_lock.violations(tl_tight.outcomes) == []
+    assert default_lock.violations(tl_default.outcomes) == []
 
 
 def test_ablation_summary(table_printer):

@@ -16,10 +16,13 @@ import time
 
 import pytest
 
-from repro.axiomatic import AxiomaticConfig, enumerate_axiomatic_outcomes
+from repro.axiomatic import AxiomaticConfig
+from repro.harness import Job, run_jobs
 from repro.lang.kinds import Arch
-from repro.promising import ExploreConfig, explore
+from repro.promising import ExploreConfig
 from repro.workloads import spinlock_cxx, ticket_lock
+
+pytestmark = pytest.mark.bench
 
 CONFIGS = [
     ("SLC-1 (paper: SLC-1/2)", lambda: spinlock_cxx(2, 1, retries=1)),
@@ -35,31 +38,36 @@ _rows: list[list[object]] = []
 @pytest.mark.parametrize("label,builder", CONFIGS, ids=[c[0].split(" ")[0] for c in CONFIGS])
 def test_herd_comparison_row(benchmark, label, builder):
     workload = builder()
+    promising_job = Job.for_program(
+        workload.program, "promising", Arch.ARM, explore_config=ExploreConfig(loop_bound=2)
+    )
     promising = benchmark.pedantic(
-        lambda: explore(workload.program, ExploreConfig(arch=Arch.ARM, loop_bound=2)),
-        rounds=1,
-        iterations=1,
+        lambda: run_jobs([promising_job])[0], rounds=1, iterations=1
+    )
+    axiomatic_job = Job.for_program(
+        workload.program,
+        "axiomatic",
+        Arch.ARM,
+        axiomatic_config=AxiomaticConfig(loop_bound=2, max_candidates=CANDIDATE_BUDGET),
     )
     start = time.perf_counter()
-    axiomatic = enumerate_axiomatic_outcomes(
-        workload.program,
-        AxiomaticConfig(arch=Arch.ARM, loop_bound=2, max_candidates=CANDIDATE_BUDGET),
-    )
+    axiomatic = run_jobs([axiomatic_job])[0]
     axiomatic_time = time.perf_counter() - start
 
+    assert promising.ok and axiomatic.ok, label
     _rows.append(
         [
             label,
-            f"{promising.stats.elapsed_seconds:.2f}s",
-            f"{axiomatic_time:.2f}s" + (" (budget)" if axiomatic.stats.truncated else ""),
-            promising.stats.promise_states,
-            axiomatic.stats.candidates,
+            f"{promising.elapsed_seconds:.2f}s",
+            f"{axiomatic_time:.2f}s" + (" (budget)" if axiomatic.stats["truncated"] else ""),
+            promising.stats["promise_states"],
+            axiomatic.stats["candidates"],
         ]
     )
     assert workload.check(promising.outcomes)
     # herd-style enumeration considers far more candidates than the
     # promising explorer has promise-mode states.
-    assert axiomatic.stats.candidates > promising.stats.promise_states
+    assert axiomatic.stats["candidates"] > promising.stats["promise_states"]
 
 
 def test_herd_comparison_summary(table_printer):

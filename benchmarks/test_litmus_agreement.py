@@ -17,6 +17,8 @@ import pytest
 from repro.lang.kinds import Arch
 from repro.litmus import all_tests, check_agreement, generate_battery, run_axiomatic, run_promising
 
+pytestmark = pytest.mark.bench
+
 #: Size of the generated-battery slice used here (the full battery has
 #: several hundred entries; the unit tests cover another slice).
 BATTERY_SIZE = 60

@@ -12,32 +12,39 @@ from __future__ import annotations
 
 import pytest
 
+from repro.harness import Job, run_jobs
 from repro.lang.kinds import Arch
 from repro.promising import ExploreConfig, explore, find_witness
 from repro.workloads import ms_queue
+
+pytestmark = pytest.mark.bench
+
+
+def _queue_job(workload):
+    return Job.for_program(workload.program, "promising", Arch.ARM, name=workload.name)
 
 
 def test_fixed_queue_has_no_incorrect_state(benchmark):
     workload = ms_queue(("e", "d"), release_link=True)
     result = benchmark.pedantic(
-        lambda: explore(workload.program, ExploreConfig(arch=Arch.ARM)),
-        rounds=1, iterations=1,
+        lambda: run_jobs([_queue_job(workload)])[0], rounds=1, iterations=1
     )
+    assert result.ok
     assert workload.violations(result.outcomes) == []
 
 
 def test_relaxed_queue_bug_is_found(benchmark, table_printer):
     workload = ms_queue(("e", "d"), release_link=False)
     result = benchmark.pedantic(
-        lambda: explore(workload.program, ExploreConfig(arch=Arch.ARM)),
-        rounds=1, iterations=1,
+        lambda: run_jobs([_queue_job(workload)])[0], rounds=1, iterations=1
     )
+    assert result.ok
     violations = workload.violations(result.outcomes)
     assert violations, "the relaxed publication bug must be detected"
     table_printer(
         "§8 case study: relaxed Michael–Scott queue",
         ["outcomes", "incorrect states", "exploration time"],
-        [[len(result.outcomes), len(violations), f"{result.stats.elapsed_seconds:.2f}s"]],
+        [[len(result.outcomes), len(violations), f"{result.elapsed_seconds:.2f}s"]],
     )
 
 
@@ -60,7 +67,7 @@ def test_larger_fixed_configuration(benchmark):
     """QU-110-010-style configuration (scaled from the paper's QU rows)."""
     workload = ms_queue(("ed", "d"), release_link=True)
     result = benchmark.pedantic(
-        lambda: explore(workload.program, ExploreConfig(arch=Arch.ARM)),
-        rounds=1, iterations=1,
+        lambda: run_jobs([_queue_job(workload)])[0], rounds=1, iterations=1
     )
+    assert result.ok
     assert workload.violations(result.outcomes) == []

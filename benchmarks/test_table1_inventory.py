@@ -15,6 +15,8 @@ import pytest
 from repro.lang import count_memory_accesses, statement_size
 from repro.workloads import FAMILIES
 
+pytestmark = pytest.mark.bench
+
 
 def build_all():
     return {key: family.builder() for key, family in FAMILIES.items()}

@@ -18,9 +18,10 @@ import time
 
 import pytest
 
-from repro.flat import FlatConfig, explore_flat
+from repro.flat import FlatConfig
+from repro.harness import Job, run_jobs
 from repro.lang.kinds import Arch
-from repro.promising import ExploreConfig, explore
+from repro.promising import ExploreConfig
 from repro.workloads import (
     ms_queue,
     spinlock_asm,
@@ -28,6 +29,8 @@ from repro.workloads import (
     spsc_queue,
     treiber_stack,
 )
+
+pytestmark = pytest.mark.bench
 
 #: Scaled-down Table 2 rows: (paper row, workload builder).
 CONFIGS = [
@@ -45,14 +48,20 @@ _rows: list[list[object]] = []
 
 
 def _run_promising(workload):
-    return explore(workload.program, ExploreConfig(arch=Arch.ARM, loop_bound=2))
+    job = Job.for_program(
+        workload.program, "promising", Arch.ARM, explore_config=ExploreConfig(loop_bound=2)
+    )
+    return run_jobs([job])[0]
 
 
 def _run_flat(workload):
-    return explore_flat(
+    job = Job.for_program(
         workload.program,
-        FlatConfig(arch=Arch.ARM, loop_bound=2, max_states=FLAT_STATE_BUDGET),
+        "flat",
+        Arch.ARM,
+        flat_config=FlatConfig(loop_bound=2, max_states=FLAT_STATE_BUDGET),
     )
+    return run_jobs([job])[0]
 
 
 @pytest.mark.parametrize("label,builder", CONFIGS, ids=[c[0].split(" ")[0] for c in CONFIGS])
@@ -64,23 +73,24 @@ def test_table2_row(benchmark, label, builder):
     flat = _run_flat(workload)
     flat_time = time.perf_counter() - start
 
-    flat_cell = f"{flat_time:.2f}s" + (" (ooT)" if flat.stats.truncated else "")
+    assert promising.ok and flat.ok, label
+    flat_cell = f"{flat_time:.2f}s" + (" (ooT)" if flat.stats["truncated"] else "")
     _rows.append(
         [
             label,
-            f"{promising.stats.elapsed_seconds:.2f}s",
+            f"{promising.elapsed_seconds:.2f}s",
             flat_cell,
-            promising.stats.promise_states,
-            flat.stats.states,
+            promising.stats["promise_states"],
+            flat.stats["states"],
         ]
     )
 
     # Safety of the workload is re-checked while we are here.
     assert workload.check(promising.outcomes), label
     # The headline shape: the Flat-style baseline needs far more states.
-    assert flat.stats.states > 5 * promising.stats.promise_states, label
+    assert flat.stats["states"] > 5 * promising.stats["promise_states"], label
     # And it must not be faster than Promising on any configuration.
-    assert flat.stats.truncated or flat_time >= promising.stats.elapsed_seconds, label
+    assert flat.stats["truncated"] or flat_time >= promising.elapsed_seconds, label
 
 
 def test_table2_summary(table_printer):

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.harness import Job, run_jobs
 from repro.lang.kinds import Arch
-from repro.promising import ExploreConfig, explore
+from repro.promising import ExploreConfig
 from repro.workloads import (
     chase_lev,
     ms_queue,
@@ -25,6 +26,8 @@ from repro.workloads import (
     ticket_lock,
     treiber_stack,
 )
+
+pytestmark = pytest.mark.bench
 
 #: (family, config label, builder) — two points per family.
 SWEEP = [
@@ -52,14 +55,18 @@ _results: dict[str, list[tuple[str, float, int]]] = {}
 @pytest.mark.parametrize("family,label,builder", SWEEP, ids=[s[1] for s in SWEEP])
 def test_table3_row(benchmark, family, label, builder):
     workload = builder()
-    result = benchmark.pedantic(
-        lambda: explore(workload.program, ExploreConfig(arch=Arch.ARM, loop_bound=2)),
-        rounds=1,
-        iterations=1,
+    job = Job.for_program(
+        workload.program,
+        "promising",
+        Arch.ARM,
+        explore_config=ExploreConfig(loop_bound=2),
+        name=label,
     )
+    result = benchmark.pedantic(lambda: run_jobs([job])[0], rounds=1, iterations=1)
+    assert result.ok, result.error
     assert workload.check(result.outcomes), label
     _results.setdefault(family, []).append(
-        (label, result.stats.elapsed_seconds, result.stats.promise_states)
+        (label, result.elapsed_seconds, result.stats["promise_states"])
     )
 
 

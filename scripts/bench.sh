@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Run a small litmus sweep through the parallel harness and refresh the
+# tracked perf artifact BENCH_sweep.json at the repo root.
+#
+# The sweep runs twice against the persistent cache: the first (cold) run
+# computes every outcome set, the second (warm) run recalls them by
+# fingerprint. The committed artifact is the warm run, so its cache block
+# records the reuse rate; the cold/warm wall times are printed for the
+# perf trajectory.
+#
+# Knobs: SWEEP_TESTS (battery size), SWEEP_WORKERS, SWEEP_MODELS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+TESTS="${SWEEP_TESTS:-40}"
+WORKERS="${SWEEP_WORKERS:-2}"
+MODELS="${SWEEP_MODELS:-promising,axiomatic}"
+CACHE_DIR=".sweep-cache"
+
+run_sweep() {
+    python -m repro.tools sweep \
+        --max-tests "$TESTS" --workers "$WORKERS" --models "$MODELS" \
+        --cache-dir "$CACHE_DIR" --report BENCH_sweep.json
+}
+
+echo "== cold sweep ($TESTS tests, $MODELS, $WORKERS workers) =="
+rm -rf "$CACHE_DIR"
+cold_start=$(python -c 'import time; print(time.time())')
+run_sweep
+cold_end=$(python -c 'import time; print(time.time())')
+
+echo "== warm sweep (persistent cache at $CACHE_DIR) =="
+run_sweep
+warm_end=$(python -c 'import time; print(time.time())')
+
+python - "$cold_start" "$cold_end" "$warm_end" <<'EOF'
+import json, sys
+cold = float(sys.argv[2]) - float(sys.argv[1])
+warm = float(sys.argv[3]) - float(sys.argv[2])
+report = json.load(open("BENCH_sweep.json"))
+print(f"cold: {cold:.2f}s  warm: {warm:.2f}s  speedup: {cold / warm:.1f}x")
+print(f"cache hit rate (warm run): {report['cache']['hit_rate'] * 100:.0f}%")
+print(f"jobs: {report['n_jobs']}  statuses: {report['status_counts']}  "
+      f"mismatches: {len(report['mismatches'])}")
+EOF
+echo "report written to BENCH_sweep.json"

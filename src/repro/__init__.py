@@ -11,6 +11,9 @@ The package is organised as:
 * :mod:`repro.flat` — a Flat-style abstract-microarchitectural baseline.
 * :mod:`repro.isa` — ARMv8 and RISC-V assembly front ends.
 * :mod:`repro.litmus` — litmus tests: format, catalogue, generators.
+* :mod:`repro.harness` — the parallel sweep harness: batch execution of
+  litmus jobs with a worker pool, persistent result cache, and JSON
+  sweep reports.
 * :mod:`repro.workloads` — the concurrent data structures of the
   evaluation (spinlocks, ticket lock, Treiber stack, Michael-Scott queue,
   Chase-Lev deque, producer/consumer queues).

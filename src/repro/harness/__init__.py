@@ -1,0 +1,63 @@
+"""Batch-execution engine for litmus jobs (the sweep harness).
+
+The paper's headline experiment — validating the promising model against
+the axiomatic one on thousands of generated litmus tests (§7) — is
+embarrassingly parallel and repeats largely unchanged work between runs.
+This subsystem turns every sweep in the codebase into a batch of
+serializable :class:`Job`\\ s pushed through a scheduler with:
+
+* a ``multiprocessing`` worker pool with per-job timeouts and a serial
+  fallback (``workers=1``) producing bit-identical results;
+* a persistent on-disk :class:`ResultCache` keyed by content fingerprint
+  (program + condition + projection + configuration), so warm reruns skip
+  all already-computed outcome sets;
+* structured JSON sweep reports (per-job timing, outcome counts,
+  verdicts, mismatches, cache hit rate) for ``BENCH_*.json`` artifacts.
+"""
+
+from .jobs import (
+    FINGERPRINT_VERSION,
+    MODELS,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    Job,
+    JobResult,
+    JobTimeout,
+    execute_job,
+    result_from_json,
+    result_to_json,
+    timeouts_enforceable,
+)
+from .cache import ResultCache, open_cache
+from .scheduler import BatchStats, default_workers, run_jobs
+from .report import REPORT_SCHEMA_VERSION, build_report, find_mismatches, write_report
+from .sweep import DEFAULT_MODELS, SweepResult, build_jobs, run_sweep
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "MODELS",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "Job",
+    "JobResult",
+    "JobTimeout",
+    "execute_job",
+    "result_from_json",
+    "result_to_json",
+    "timeouts_enforceable",
+    "ResultCache",
+    "open_cache",
+    "BatchStats",
+    "default_workers",
+    "run_jobs",
+    "REPORT_SCHEMA_VERSION",
+    "build_report",
+    "find_mismatches",
+    "write_report",
+    "DEFAULT_MODELS",
+    "SweepResult",
+    "build_jobs",
+    "run_sweep",
+]

@@ -1,0 +1,118 @@
+"""Persistent on-disk cache of job results.
+
+Results are keyed by the job fingerprint (see :meth:`Job.fingerprint`), so
+a warm rerun of an agreement battery or a benchmark sweep skips every
+already-computed outcome set: the fingerprint covers program, condition,
+projection, model, architecture, and the full effective configuration.
+
+Layout: one JSON file per entry, sharded by the first two hex digits of
+the fingerprint (``<cache-dir>/ab/abcdef….json``).  Entries are written
+atomically (write + rename) so a crashed sweep never leaves a truncated
+entry behind; a corrupt or mismatched file is treated as a miss and
+overwritten on the next store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .jobs import Job, JobResult, STATUS_OK, result_from_json, result_to_json
+
+
+class ResultCache:
+    """Filesystem-backed result cache with hit/miss accounting."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, fingerprint: str) -> Path:
+        return self.path / fingerprint[:2] / f"{fingerprint}.json"
+
+    # -- lookup --------------------------------------------------------------
+    def get(self, job: Job) -> Optional[JobResult]:
+        """Recall the result of ``job``, or ``None`` on a miss."""
+        fingerprint = job.fingerprint()
+        entry = self._entry_path(fingerprint)
+        try:
+            data = json.loads(entry.read_text())
+            if data.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            result = result_from_json(data)
+        except (OSError, KeyError, TypeError, ValueError, AttributeError):
+            # Unreadable, schema-drifted, or mismatched entries are
+            # misses; the next store overwrites them.
+            self.misses += 1
+            return None
+        # Name and expected verdict are deliberately outside the
+        # fingerprint (they don't affect the computed outcome set), so a
+        # recalled result must reflect the *incoming* job's annotations —
+        # not the ones stored when the entry was written.
+        result.name = job.test.name
+        result.expected = job.test.expected_verdict(job.arch)
+        result.cached = True
+        self.hits += 1
+        return result
+
+    # -- store ---------------------------------------------------------------
+    def put(self, job: Job, result: JobResult) -> bool:
+        """Persist an ``ok`` result (errors and timeouts are not cached:
+        they depend on machine load and deadlines, not on the job)."""
+        if result.status != STATUS_OK:
+            return False
+        fingerprint = result.fingerprint or job.fingerprint()
+        entry = self._entry_path(fingerprint)
+        payload = result_to_json(result)
+        payload["fingerprint"] = fingerprint
+        # Unique temp name per writer: concurrent sweeps sharing a cache
+        # dir must not interleave writes into the same scratch file.
+        tmp = entry.with_name(f"{entry.name}.{os.getpid()}.tmp")
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, entry)
+        except OSError:
+            # A full or read-only cache volume must never sink the sweep
+            # that already holds its results in memory; the entry is
+            # simply not persisted.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        return True
+
+    # -- maintenance ---------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry (and any orphaned scratch file left by a
+        killed writer); returns how many entries were removed."""
+        removed = 0
+        for entry in self.path.glob("*/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        for orphan in self.path.glob("*/*.tmp"):
+            orphan.unlink(missing_ok=True)
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0
+
+
+def open_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:
+    """Coerce a ``--cache-dir``-style argument into a :class:`ResultCache`."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+__all__ = ["ResultCache", "open_cache"]

@@ -1,0 +1,145 @@
+"""Structured JSON sweep reports (``BENCH_*.json``-style artifacts).
+
+A report records everything needed to track the reproduction's perf
+trajectory across PRs: per-job timings and statuses, outcome counts,
+verdicts, cross-model mismatches, and the cache hit rate of the run.
+The schema is versioned and covered by the test suite so downstream
+tooling can rely on it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from .jobs import Job, JobResult, STATUS_OK
+
+#: Bump on any backwards-incompatible change to the report layout.
+REPORT_SCHEMA_VERSION = 1
+
+
+def job_entry(result: JobResult) -> dict:
+    """The per-job row of a sweep report (no outcome payload: summaries)."""
+    return {
+        "name": result.name,
+        "model": result.model,
+        "arch": result.arch.value,
+        "status": result.status,
+        "verdict": result.verdict.value if result.verdict else None,
+        "expected": result.expected.value if result.expected else None,
+        "matches_expectation": result.matches_expectation,
+        "n_outcomes": None if result.outcomes is None else len(result.outcomes),
+        "elapsed_seconds": result.elapsed_seconds,
+        "cached": result.cached,
+        "error": result.error,
+        "fingerprint": result.fingerprint,
+        "stats": result.stats,
+    }
+
+
+def find_mismatches(
+    jobs: Sequence[Job], results: Sequence[JobResult]
+) -> list[dict]:
+    """Cross-model outcome-set differences, per test.
+
+    For every test appearing under several models (on the same arch), each
+    model pair with both runs ``ok`` but different projected outcome sets
+    yields one mismatch entry.  This is the §7 agreement check in report
+    form — an empty list is the expected result.
+
+    Grouping is by test *identity*, not name: a battery may contain
+    distinct tests sharing a name (e.g. a generated ``LB+data+po`` next
+    to the hand-written catalogue one), and comparing those across models
+    would fabricate mismatches between different programs.
+
+    Truncated explorations (a state/candidate budget was hit) have
+    incomplete outcome sets, so pairs involving one are skipped rather
+    than reported as disagreements; the per-job ``stats`` still show the
+    truncation.
+    """
+    by_test: dict[tuple[int, str], list[JobResult]] = {}
+    names: dict[tuple[int, str], str] = {}
+    for job, result in zip(jobs, results):
+        key = (id(job.test), job.arch.value)
+        by_test.setdefault(key, []).append(result)
+        names[key] = job.test.name
+    mismatches = []
+    for (test_key, arch), group in by_test.items():
+        name = names[(test_key, arch)]
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                a, b = group[i], group[j]
+                if a.model == b.model or not (a.ok and b.ok):
+                    continue
+                if a.stats.get("truncated") or b.stats.get("truncated"):
+                    continue
+                if set(a.outcomes) != set(b.outcomes):
+                    mismatches.append(
+                        {
+                            "test": name,
+                            "arch": arch,
+                            "models": [a.model, b.model],
+                            "only_first": len(set(a.outcomes) - set(b.outcomes)),
+                            "only_second": len(set(b.outcomes) - set(a.outcomes)),
+                        }
+                    )
+    return mismatches
+
+
+def build_report(
+    jobs: Sequence[Job],
+    results: Sequence[JobResult],
+    *,
+    name: str = "sweep",
+    wall_seconds: Optional[float] = None,
+    extra: Optional[Mapping] = None,
+) -> dict:
+    """Assemble the JSON-ready report for one sweep."""
+    statuses: dict[str, int] = {}
+    for result in results:
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+    cache_hits = sum(1 for r in results if r.cached)
+    compute_seconds = sum(r.elapsed_seconds for r in results if not r.cached)
+    saved_seconds = sum(r.elapsed_seconds for r in results if r.cached)
+    report = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "name": name,
+        "generated_unix": time.time(),
+        "n_jobs": len(results),
+        "models": sorted({r.model for r in results}),
+        "archs": sorted({r.arch.value for r in results}),
+        "status_counts": statuses,
+        "ok": statuses.get(STATUS_OK, 0) == len(results),
+        "cache": {
+            "hits": cache_hits,
+            "misses": len(results) - cache_hits,
+            "hit_rate": cache_hits / len(results) if results else 0.0,
+            "saved_seconds": saved_seconds,
+        },
+        "compute_seconds": compute_seconds,
+        "wall_seconds": wall_seconds,
+        "mismatches": find_mismatches(jobs, results),
+        "jobs": [job_entry(r) for r in results],
+    }
+    if extra:
+        report["extra"] = dict(extra)
+    return report
+
+
+def write_report(report: Mapping, path: Union[str, Path]) -> Path:
+    """Write a report as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "build_report",
+    "find_mismatches",
+    "job_entry",
+    "write_report",
+]

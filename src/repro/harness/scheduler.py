@@ -1,0 +1,171 @@
+"""Batch execution of litmus jobs: worker pool, timeouts, cache reuse.
+
+:func:`run_jobs` is the sweep engine.  It resolves cache hits first, runs
+the remaining jobs either in-process (``workers=1``, the serial fallback)
+or on a ``multiprocessing`` pool, and returns results in job order
+regardless of completion order — so a parallel run is indistinguishable
+from a serial one apart from wall time.  Per-job deadlines and error
+capture happen inside :func:`~repro.harness.jobs.execute_job`, hence a
+crashing or timed-out job surfaces as a result with the matching status
+instead of tearing down the batch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import sys
+import warnings
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from .cache import ResultCache, open_cache
+from .jobs import Job, JobResult, execute_job, timeouts_enforceable
+
+
+def default_workers() -> int:
+    """A sensible worker count for ``--workers 0`` style requests."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class BatchStats:
+    """Accounting for one :func:`run_jobs` call."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    statuses: dict = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+
+def _invoke(payload: tuple[Job, Optional[float]]) -> JobResult:
+    job, timeout = payload
+    return execute_job(job, timeout=timeout)
+
+
+def _invoke_indexed(payload: tuple[int, Job, Optional[float]]) -> tuple[int, JobResult]:
+    index, job, timeout = payload
+    return index, execute_job(job, timeout=timeout)
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    *,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    cache: Union[None, str, ResultCache] = None,
+    stats: Optional[BatchStats] = None,
+) -> list[JobResult]:
+    """Execute ``jobs`` and return their results in submission order.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (default) runs in-process; ``>1`` uses a process pool of that
+        size; ``0`` means one worker per CPU.  Results are deterministic
+        and identical for every setting.
+    timeout:
+        Per-job wall-clock deadline in seconds (``None`` = unbounded).
+    cache:
+        A :class:`ResultCache` (or a directory path for one).  Hits skip
+        execution entirely; fresh ``ok`` results are stored back.
+    stats:
+        Optional accumulator filled with batch accounting.
+    """
+    cache = open_cache(cache)
+    if workers == 0:
+        workers = default_workers()
+
+    results: list[Optional[JobResult]] = [None] * len(jobs)
+    pending: list[int] = []
+    # In-batch dedup: content-identical jobs (e.g. a generated test that
+    # also appears in the catalogue) are executed once and fanned back
+    # out, with per-job annotations rebound like a cache hit.
+    first_with: dict[str, int] = {}
+    duplicate_of: dict[int, int] = {}
+    for index, job in enumerate(jobs):
+        hit = cache.get(job) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            continue
+        fingerprint = job.fingerprint()
+        if fingerprint in first_with:
+            duplicate_of[index] = first_with[fingerprint]
+        else:
+            first_with[fingerprint] = index
+            pending.append(index)
+
+    if pending:
+        # A single pending job skips pool setup — but only when that
+        # doesn't downgrade a requested deadline (in-process enforcement
+        # needs SIGALRM on the calling thread; pool workers always
+        # enforce on their own main threads).
+        serial_ok = timeout is None or timeouts_enforceable()
+        if workers <= 1 or (len(pending) == 1 and serial_ok):
+            # In-process execution: the deadline fires in *this* thread.
+            if timeout is not None and not timeouts_enforceable():
+                warnings.warn(
+                    "per-job timeouts need SIGALRM on a main thread; "
+                    "jobs will run unbounded here",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            for index in pending:
+                results[index] = _invoke((jobs[index], timeout))
+                if cache is not None:
+                    cache.put(jobs[index], results[index])
+        else:
+            # Pool execution: deadlines fire on each worker's main thread,
+            # so only the platform-wide absence of SIGALRM disables them.
+            if timeout is not None and not hasattr(signal, "SIGALRM"):
+                warnings.warn(
+                    "per-job timeouts need SIGALRM, which this platform "
+                    "lacks; jobs will run unbounded",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            # ``fork`` keeps job dispatch cheap, but only Linux treats it
+            # as safe; elsewhere (macOS objc fork-safety, Windows) use the
+            # platform default (jobs are fully picklable for spawn).
+            use_fork = (
+                sys.platform == "linux"
+                and "fork" in multiprocessing.get_all_start_methods()
+            )
+            ctx = multiprocessing.get_context("fork" if use_fork else None)
+            with ctx.Pool(processes=min(workers, len(pending))) as pool:
+                payloads = [(index, jobs[index], timeout) for index in pending]
+                # Unordered streaming: each result is persisted the moment
+                # its worker finishes, so an interrupted sweep keeps
+                # everything already computed even while an early slow job
+                # is still running; `results[index]` restores job order.
+                for index, result in pool.imap_unordered(_invoke_indexed, payloads):
+                    results[index] = result
+                    if cache is not None:
+                        cache.put(jobs[index], result)
+
+    for index, source in duplicate_of.items():
+        # Same fingerprint → same computed outcome; only the per-job
+        # annotations (name, expected verdict) differ.
+        results[index] = dataclasses.replace(
+            results[source],
+            name=jobs[index].test.name,
+            expected=jobs[index].test.expected_verdict(jobs[index].arch),
+        )
+
+    if stats is not None:
+        stats.total += len(jobs)
+        stats.executed += len(pending)
+        stats.cache_hits += len(jobs) - len(pending) - len(duplicate_of)
+        for result in results:
+            stats.statuses[result.status] = stats.statuses.get(result.status, 0) + 1
+
+    return results  # type: ignore[return-value]
+
+
+__all__ = ["BatchStats", "default_workers", "run_jobs"]

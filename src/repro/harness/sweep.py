@@ -1,0 +1,135 @@
+"""High-level sweep orchestration: tests × models → scheduler → report.
+
+This is what the ``promising-arm sweep`` subcommand and the benchmark
+batteries call: expand a battery of litmus tests across the requested
+models, push the whole job list through the scheduler (parallel and
+cached as configured), and produce the structured report artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from ..axiomatic.model import AxiomaticConfig
+from ..flat.explorer import FlatConfig
+from ..lang.kinds import Arch
+from ..promising.exhaustive import ExploreConfig
+
+if TYPE_CHECKING:  # litmus imports harness (runner); keep ours lazy.
+    from ..litmus.test import LitmusTest
+from .cache import ResultCache, open_cache
+from .jobs import Job, JobResult
+from .report import build_report, write_report
+from .scheduler import BatchStats, run_jobs
+
+DEFAULT_MODELS = ("promising", "axiomatic")
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced."""
+
+    jobs: list[Job]
+    results: list[JobResult]
+    report: dict
+    stats: BatchStats
+    wall_seconds: float
+
+    @property
+    def mismatches(self) -> list[dict]:
+        return self.report["mismatches"]
+
+    @property
+    def ok(self) -> bool:
+        return self.report["ok"] and not self.mismatches
+
+    def describe(self) -> str:
+        statuses = ", ".join(
+            f"{count} {status}" for status, count in sorted(self.report["status_counts"].items())
+        )
+        lines = [
+            f"{self.report['n_jobs']} jobs ({statuses}) over "
+            f"{'+'.join(self.report['models'])} in {self.wall_seconds:.1f}s "
+            f"(cache hit rate {self.report['cache']['hit_rate'] * 100:.0f}%)"
+        ]
+        for mismatch in self.mismatches:
+            lines.append(
+                f"  mismatch: {mismatch['test']} [{mismatch['arch']}] "
+                f"{mismatch['models'][0]} vs {mismatch['models'][1]}"
+            )
+        return "\n".join(lines)
+
+
+def build_jobs(
+    tests: Sequence[LitmusTest],
+    models: Sequence[str] = DEFAULT_MODELS,
+    arch: Arch = Arch.ARM,
+    *,
+    explore_config: Optional[ExploreConfig] = None,
+    axiomatic_config: Optional[AxiomaticConfig] = None,
+    flat_config: Optional[FlatConfig] = None,
+) -> list[Job]:
+    """One job per test × model, grouped by test (models adjacent)."""
+    return [
+        Job(
+            test=test,
+            model=model,
+            arch=arch,
+            explore_config=explore_config,
+            axiomatic_config=axiomatic_config,
+            flat_config=flat_config,
+        )
+        for test in tests
+        for model in models
+    ]
+
+
+def run_sweep(
+    tests: Sequence[LitmusTest],
+    models: Sequence[str] = DEFAULT_MODELS,
+    arch: Arch = Arch.ARM,
+    *,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
+    report_path: Union[None, str, Path] = None,
+    name: str = "litmus-sweep",
+    explore_config: Optional[ExploreConfig] = None,
+    axiomatic_config: Optional[AxiomaticConfig] = None,
+    flat_config: Optional[FlatConfig] = None,
+) -> SweepResult:
+    """Run a litmus battery across models and (optionally) write a report."""
+    cache = open_cache(cache)
+    jobs = build_jobs(
+        tests,
+        models,
+        arch,
+        explore_config=explore_config,
+        axiomatic_config=axiomatic_config,
+        flat_config=flat_config,
+    )
+    stats = BatchStats()
+    start = time.perf_counter()
+    results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache, stats=stats)
+    wall = time.perf_counter() - start
+    report = build_report(
+        jobs,
+        results,
+        name=name,
+        wall_seconds=wall,
+        extra={
+            "workers": workers,
+            "timeout_seconds": timeout,
+            "arch": arch.value,
+            "n_tests": len(tests),
+        },
+    )
+    if report_path is not None:
+        write_report(report, report_path)
+    return SweepResult(jobs=jobs, results=results, report=report, stats=stats, wall_seconds=wall)
+
+
+__all__ = ["DEFAULT_MODELS", "SweepResult", "build_jobs", "run_sweep"]

@@ -42,6 +42,16 @@ class Condition:
     def locations(self) -> set[Loc]:
         return set()
 
+    def canonical(self) -> str:
+        """Unambiguous serialization for content fingerprints.
+
+        Unlike ``repr`` (which favours the herd-style display, printing
+        memory locations by their symbolic *name*), this encodes the
+        actual addresses, so two conditions that render identically but
+        observe different locations never collide.
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class RegEq(Condition):
@@ -59,6 +69,9 @@ class RegEq(Condition):
 
     def __repr__(self) -> str:
         return f"{self.tid}:{self.reg}={self.value}"
+
+    def canonical(self) -> str:
+        return f"reg[{self.tid}:{self.reg}]={self.value}"
 
 
 @dataclass(frozen=True)
@@ -78,6 +91,9 @@ class MemEq(Condition):
     def __repr__(self) -> str:
         return f"{self.name or self.loc}={self.value}"
 
+    def canonical(self) -> str:
+        return f"mem[{self.loc}]={self.value}"
+
 
 @dataclass(frozen=True)
 class And(Condition):
@@ -94,6 +110,9 @@ class And(Condition):
 
     def __repr__(self) -> str:
         return " /\\ ".join(repr(p) for p in self.parts)
+
+    def canonical(self) -> str:
+        return "and(" + ",".join(p.canonical() for p in self.parts) + ")"
 
 
 @dataclass(frozen=True)
@@ -112,6 +131,9 @@ class Or(Condition):
     def __repr__(self) -> str:
         return "(" + " \\/ ".join(repr(p) for p in self.parts) + ")"
 
+    def canonical(self) -> str:
+        return "or(" + ",".join(p.canonical() for p in self.parts) + ")"
+
 
 @dataclass(frozen=True)
 class Not(Condition):
@@ -129,6 +151,9 @@ class Not(Condition):
     def __repr__(self) -> str:
         return f"~({self.part!r})"
 
+    def canonical(self) -> str:
+        return f"not({self.part.canonical()})"
+
 
 @dataclass(frozen=True)
 class TrueCond(Condition):
@@ -138,6 +163,9 @@ class TrueCond(Condition):
         return True
 
     def __repr__(self) -> str:
+        return "true"
+
+    def canonical(self) -> str:
         return "true"
 
 

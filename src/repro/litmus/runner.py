@@ -1,22 +1,28 @@
 """Running litmus tests under the models and comparing the results.
 
 The runner wires a :class:`~repro.litmus.test.LitmusTest` to one of the
-three implementations (promising, axiomatic, flat), taking care of the
-projection onto the observables mentioned by the test condition, and of
-keeping condition-observed locations shared when the promising explorer's
-local-location optimisation is enabled.
+three implementations (promising, axiomatic, flat) through the sweep
+harness (:mod:`repro.harness`), which takes care of the projection onto
+the observables mentioned by the test condition, of keeping
+condition-observed locations shared when the promising explorer's
+local-location optimisation is enabled, and — for batteries — of worker
+pools, per-job timeouts, and the persistent result cache.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from ..lang.kinds import Arch
 from ..outcomes import OutcomeSet
-from ..promising.exhaustive import ExploreConfig, explore, explore_naive
-from ..axiomatic.model import AxiomaticConfig, enumerate_axiomatic_outcomes
+from ..promising.exhaustive import ExploreConfig
+from ..axiomatic.model import AxiomaticConfig
+from ..harness.jobs import Job, JobResult, execute_job
+from ..harness.scheduler import run_jobs
+from ..harness.cache import ResultCache
 from .test import LitmusTest, Verdict
 
 
@@ -48,10 +54,16 @@ class RunResult:
         )
 
 
-def _projected(test: LitmusTest, outcomes: OutcomeSet) -> OutcomeSet:
-    regs = {tid: sorted(names) for tid, names in test.observable_registers().items()}
-    locs = sorted(test.observable_locations())
-    return outcomes.project(regs, locs)
+def _run_result(test: LitmusTest, result: JobResult) -> RunResult:
+    return RunResult(
+        test=test,
+        model=result.model,
+        arch=result.arch,
+        outcomes=result.outcomes,
+        verdict=result.verdict,
+        expected=result.expected,
+        elapsed_seconds=result.elapsed_seconds,
+    )
 
 
 def run_promising(
@@ -61,28 +73,13 @@ def run_promising(
     naive: bool = False,
 ) -> RunResult:
     """Run a litmus test under the promising exhaustive explorer."""
-    base = config or ExploreConfig()
-    cfg = ExploreConfig(
-        arch=arch,
-        loop_bound=base.loop_bound,
-        cert_fuel=base.cert_fuel,
-        max_states=base.max_states,
-        localise=base.localise,
-        shared_locations=tuple(sorted(set(base.shared_locations) | test.observable_locations())),
-    )
-    start = time.perf_counter()
-    result = (explore_naive if naive else explore)(test.program, cfg)
-    elapsed = time.perf_counter() - start
-    outcomes = _projected(test, result.outcomes)
-    return RunResult(
+    job = Job(
         test=test,
         model="promising-naive" if naive else "promising",
         arch=arch,
-        outcomes=outcomes,
-        verdict=test.evaluate(outcomes),
-        expected=test.expected_verdict(arch),
-        elapsed_seconds=elapsed,
+        explore_config=config,
     )
+    return _run_result(test, execute_job(job, capture_errors=False))
 
 
 def run_axiomatic(
@@ -91,46 +88,16 @@ def run_axiomatic(
     config: Optional[AxiomaticConfig] = None,
 ) -> RunResult:
     """Run a litmus test under the axiomatic enumerator (the herd role)."""
-    base = config or AxiomaticConfig()
-    cfg = AxiomaticConfig(
-        arch=arch,
-        loop_bound=base.loop_bound,
-        max_preexec_states=base.max_preexec_states,
-        max_candidates=base.max_candidates,
-        domain_iterations=base.domain_iterations,
-    )
-    start = time.perf_counter()
-    result = enumerate_axiomatic_outcomes(test.program, cfg)
-    elapsed = time.perf_counter() - start
-    outcomes = _projected(test, result.outcomes)
-    return RunResult(
-        test=test,
-        model="axiomatic",
-        arch=arch,
-        outcomes=outcomes,
-        verdict=test.evaluate(outcomes),
-        expected=test.expected_verdict(arch),
-        elapsed_seconds=elapsed,
-    )
+    job = Job(test=test, model="axiomatic", arch=arch, axiomatic_config=config)
+    return _run_result(test, execute_job(job, capture_errors=False))
 
 
 def run_flat(test: LitmusTest, arch: Arch = Arch.ARM, **kwargs) -> RunResult:
     """Run a litmus test under the Flat-style baseline model."""
-    from ..flat.explorer import FlatConfig, explore_flat
+    from ..flat.explorer import FlatConfig
 
-    start = time.perf_counter()
-    result = explore_flat(test.program, FlatConfig(arch=arch, **kwargs))
-    elapsed = time.perf_counter() - start
-    outcomes = _projected(test, result.outcomes)
-    return RunResult(
-        test=test,
-        model="flat",
-        arch=arch,
-        outcomes=outcomes,
-        verdict=test.evaluate(outcomes),
-        expected=test.expected_verdict(arch),
-        elapsed_seconds=elapsed,
-    )
+    job = Job(test=test, model="flat", arch=arch, flat_config=FlatConfig(arch=arch, **kwargs))
+    return _run_result(test, execute_job(job, capture_errors=False))
 
 
 @dataclass
@@ -160,20 +127,39 @@ def check_agreement(
     arch: Arch = Arch.ARM,
     promising_config: Optional[ExploreConfig] = None,
     axiomatic_config: Optional[AxiomaticConfig] = None,
+    *,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
 ) -> AgreementReport:
     """Compare promising and axiomatic outcome sets on a battery of tests.
 
     This is the reproduction of the paper's experimental-equivalence check
     (the 6,500-test ARM / 7,000-test RISC-V agreement of §7): the two
     models must produce identical *projected* outcome sets on every test.
+
+    The battery is dispatched through the sweep harness: ``workers`` runs
+    it on a process pool (the report is identical to the serial run),
+    ``cache`` reuses previously computed outcome sets across runs, and a
+    per-job ``timeout`` turns a runaway test into a recorded disagreement
+    instead of a hung sweep.
     """
+    tests = list(tests)  # tolerate iterator inputs: we traverse twice
+    jobs: list[Job] = []
+    for test in tests:
+        jobs.append(Job(test=test, model="promising", arch=arch, explore_config=promising_config))
+        jobs.append(Job(test=test, model="axiomatic", arch=arch, axiomatic_config=axiomatic_config))
+
     report = AgreementReport()
     start = time.perf_counter()
-    for test in tests:
+    results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache)
+    for index, test in enumerate(tests):
+        promising, axiomatic = results[2 * index], results[2 * index + 1]
         report.total += 1
-        promising = run_promising(test, arch, promising_config)
-        axiomatic = run_axiomatic(test, arch, axiomatic_config)
-        if set(promising.outcomes) == set(axiomatic.outcomes):
+        if not (promising.ok and axiomatic.ok):
+            statuses = f"{promising.status}/{axiomatic.status}"
+            report.disagreements.append(f"{test.name} ({statuses})")
+        elif set(promising.outcomes) == set(axiomatic.outcomes):
             report.agreeing += 1
         else:
             report.disagreements.append(test.name)

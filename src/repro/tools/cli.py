@@ -7,7 +7,9 @@ Sub-commands mirror how the paper's rmem-based tool is used:
 * ``interactive`` — step through an execution transition by transition;
 * ``catalogue`` — list the built-in litmus tests and their verdicts;
 * ``agreement`` — compare the promising and axiomatic models on the
-  generated litmus battery.
+  generated litmus battery;
+* ``sweep`` — run a battery across several models through the parallel
+  sweep harness, with a persistent result cache and a JSON report.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..harness import DEFAULT_MODELS, MODELS, run_sweep
 from ..lang.kinds import Arch
 from ..litmus import (
     all_tests,
@@ -94,9 +97,42 @@ def cmd_catalogue(args: argparse.Namespace) -> int:
 def cmd_agreement(args: argparse.Namespace) -> int:
     arch = _arch(args.arch)
     tests = generate_battery(max_tests=args.max_tests)
-    report = check_agreement(tests, arch)
+    report = check_agreement(
+        tests, arch, workers=args.workers, cache=args.cache_dir, timeout=args.timeout
+    )
     print(report.describe())
     return 0 if not report.disagreements else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    arch = _arch(args.arch)
+    models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+    unknown = [m for m in models if m not in MODELS]
+    if unknown:
+        print(f"unknown model(s) {', '.join(unknown)}; choose from {', '.join(MODELS)}")
+        return 2
+    tests = generate_battery(max_tests=args.max_tests)
+    if args.catalogue:
+        tests = tests + [t for t in all_tests() if t.program.n_threads <= 3]
+    from ..axiomatic import AxiomaticConfig
+    from ..flat import FlatConfig
+
+    sweep = run_sweep(
+        tests,
+        models,
+        arch,
+        workers=args.workers,
+        timeout=args.timeout,
+        cache=args.cache_dir,
+        report_path=args.report,
+        explore_config=ExploreConfig(loop_bound=args.loop_bound),
+        axiomatic_config=AxiomaticConfig(loop_bound=args.loop_bound),
+        flat_config=FlatConfig(loop_bound=args.loop_bound),
+    )
+    print(sweep.describe())
+    if args.report:
+        print(f"report written to {args.report}")
+    return 0 if sweep.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,7 +160,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     agree_parser = sub.add_parser("agreement", help="promising vs axiomatic agreement run")
     agree_parser.add_argument("--max-tests", type=int, default=40)
+    agree_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (0 = one per CPU)")
+    agree_parser.add_argument("--cache-dir", default=None,
+                              help="persistent result cache directory")
+    agree_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-job timeout in seconds")
     agree_parser.set_defaults(func=cmd_agreement)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a litmus battery across models via the parallel harness"
+    )
+    sweep_parser.add_argument("--max-tests", type=int, default=40,
+                              help="size of the generated battery")
+    sweep_parser.add_argument("--models", default=",".join(DEFAULT_MODELS),
+                              help="comma-separated: promising,axiomatic,flat,promising-naive")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (0 = one per CPU)")
+    sweep_parser.add_argument("--cache-dir", default=None,
+                              help="persistent result cache directory")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-job timeout in seconds")
+    sweep_parser.add_argument("--report", default=None,
+                              help="write a JSON sweep report to this path")
+    sweep_parser.add_argument("--catalogue", action="store_true",
+                              help="also include the hand-written catalogue tests "
+                                   "(those with at most 3 threads)")
+    sweep_parser.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -3,21 +3,26 @@
 The paper establishes (in Coq) that Promising-ARM/RISC-V is equivalent to
 the axiomatic models, and validates the executable tool experimentally on
 litmus batteries.  This module provides the experimental side for this
-reproduction: run a program under two or three of the models and compare
-the projected outcome sets.
+reproduction: run a program under two or three of the models — dispatched
+through the sweep harness (:mod:`repro.harness`), so comparisons can be
+parallelised and cached like any other sweep — and compare the projected
+outcome sets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional, Union
 
-from ..axiomatic import AxiomaticConfig, enumerate_axiomatic_outcomes
-from ..flat import FlatConfig, explore_flat
+from ..axiomatic import AxiomaticConfig
+from ..flat import FlatConfig
+from ..harness.cache import ResultCache
+from ..harness.jobs import Job
+from ..harness.scheduler import run_jobs
 from ..lang import Program, statement_registers
 from ..lang.kinds import Arch
 from ..outcomes import OutcomeSet
-from ..promising import ExploreConfig, explore, explore_naive
+from ..promising import ExploreConfig
 
 
 @dataclass
@@ -85,26 +90,42 @@ def compare_models(
     explore_config: Optional[ExploreConfig] = None,
     axiomatic_config: Optional[AxiomaticConfig] = None,
     flat_config: Optional[FlatConfig] = None,
+    workers: int = 1,
+    cache: Union[None, str, ResultCache] = None,
 ) -> ModelComparison:
     """Run the selected models on ``program`` and project their outcomes."""
-    regs, locs = observables(program)
-    cfg = (explore_config or ExploreConfig()).for_arch(arch)
-    cfg.shared_locations = tuple(sorted(set(cfg.shared_locations) | set(locs)))
-    promising = explore(program, cfg).outcomes.project(regs, locs)
-    axiomatic = None
+    models = ["promising"]
     if include_axiomatic:
-        acfg = axiomatic_config or AxiomaticConfig()
-        acfg.arch = arch
-        axiomatic = enumerate_axiomatic_outcomes(program, acfg).outcomes.project(regs, locs)
-    flat = None
+        models.append("axiomatic")
     if include_flat:
-        fcfg = flat_config or FlatConfig()
-        fcfg.arch = arch
-        flat = explore_flat(program, fcfg).outcomes.project(regs, locs)
-    naive = None
+        models.append("flat")
     if include_naive:
-        naive = explore_naive(program, cfg).outcomes.project(regs, locs)
-    return ModelComparison(program, arch, promising, axiomatic, flat, naive)
+        models.append("promising-naive")
+    jobs = [
+        Job.for_program(
+            program,
+            model,
+            arch,
+            explore_config=explore_config,
+            axiomatic_config=axiomatic_config,
+            flat_config=flat_config,
+        )
+        for model in models
+    ]
+    results = run_jobs(jobs, workers=workers, cache=cache)
+    failed = [r for r in results if not r.ok]
+    if failed:
+        first = failed[0]
+        raise RuntimeError(f"{first.model} run {first.status} on {first.name}: {first.error}")
+    by_model = {result.model: result.outcomes for result in results}
+    return ModelComparison(
+        program,
+        arch,
+        promising=by_model["promising"],
+        axiomatic=by_model.get("axiomatic"),
+        flat=by_model.get("flat"),
+        naive=by_model.get("promising-naive"),
+    )
 
 
 __all__ = ["ModelComparison", "observables", "compare_models"]

@@ -1,0 +1,368 @@
+"""Tests for the sweep harness: scheduler, cache, fingerprints, reports.
+
+The guarantees pinned here are the ones the rest of the codebase builds
+on: parallel and serial sweeps are interchangeable, the persistent cache
+round-trips results and invalidates on configuration changes, one bad job
+never poisons a batch, and the JSON report schema stays stable.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    Job,
+    JobResult,
+    REPORT_SCHEMA_VERSION,
+    ResultCache,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    build_report,
+    execute_job,
+    result_from_json,
+    result_to_json,
+    run_jobs,
+    run_sweep,
+)
+from repro.lang.kinds import Arch
+from repro.litmus import check_agreement, generate_battery, get_test
+from repro.promising import ExploreConfig
+from repro.tools.cli import main
+from repro.workloads import spinlock_rust
+
+
+def battery(n=8):
+    return generate_battery(max_tests=n)
+
+
+# ---------------------------------------------------------------------------
+# Jobs and fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestJobs:
+    def test_unknown_model_is_rejected(self):
+        with pytest.raises(ValueError):
+            Job(test=get_test("MP"), model="nosuch")
+
+    def test_execute_matches_litmus_runner_projection(self):
+        test = get_test("MP+dmb+addr")
+        result = execute_job(Job(test=test, model="promising"))
+        assert result.ok
+        assert result.verdict is test.expected_verdict(Arch.ARM)
+        assert result.matches_expectation is True
+        assert result.stats["promise_states"] > 0
+
+    def test_fingerprint_is_stable_and_config_sensitive(self):
+        test = get_test("MP")
+        base = Job(test=test, model="promising")
+        assert base.fingerprint() == Job(test=test, model="promising").fingerprint()
+        # Any semantic knob must invalidate: config, arch, model, test.
+        assert (
+            Job(test=test, model="promising",
+                explore_config=ExploreConfig(loop_bound=3)).fingerprint()
+            != base.fingerprint()
+        )
+        assert Job(test=test, model="promising", arch=Arch.RISCV).fingerprint() != base.fingerprint()
+        assert Job(test=test, model="axiomatic").fingerprint() != base.fingerprint()
+        assert Job(test=get_test("SB"), model="promising").fingerprint() != base.fingerprint()
+
+    def test_fingerprint_distinguishes_same_named_locations(self):
+        # Two MemEq conditions over swapped addresses render identically
+        # ("x=1 /\ y=0") but observe different memory; their fingerprints
+        # must differ or the cache would serve one test's verdict to the
+        # other.
+        from repro.litmus.conditions import MemEq, cond_and
+        from repro.litmus.test import LitmusTest
+
+        program = get_test("SB").program
+        cond_a = cond_and(MemEq(0, 1, "x"), MemEq(8, 0, "y"))
+        cond_b = cond_and(MemEq(8, 1, "x"), MemEq(0, 0, "y"))
+        assert repr(cond_a) == repr(cond_b)
+        job_a = Job(test=LitmusTest("T", program, cond_a), model="promising")
+        job_b = Job(test=LitmusTest("T", program, cond_b), model="promising")
+        assert job_a.fingerprint() != job_b.fingerprint()
+
+    def test_partial_projection_override_derives_the_other_side(self):
+        test = get_test("MP")
+        job = Job(test=test, model="promising", project_locations=(0,))
+        regs, locs = job.observables()
+        assert locs == [0]
+        # Registers still come from the condition, not an empty override.
+        assert regs == {tid: sorted(n) for tid, n in test.observable_registers().items()}
+
+    def test_for_program_covers_all_observables(self):
+        workload = spinlock_rust(2, 1, 1)
+        job = Job.for_program(workload.program, "promising")
+        regs, locs = job.observables()
+        assert set(locs) == set(workload.program.loc_names)
+        assert all(regs[tid] for tid in workload.program.thread_ids)
+        result = execute_job(job)
+        assert result.ok and workload.check(result.outcomes)
+
+    def test_result_json_round_trip(self):
+        result = execute_job(Job(test=get_test("MP"), model="promising"))
+        clone = result_from_json(json.loads(json.dumps(result_to_json(result))))
+        assert clone.name == result.name
+        assert clone.verdict is result.verdict
+        assert set(clone.outcomes) == set(result.outcomes)
+        assert clone.stats == result.stats
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: parallel == serial, faults stay contained
+# ---------------------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_parallel_agreement_report_matches_serial(self):
+        tests = battery(10)
+        serial = check_agreement(tests, Arch.ARM, workers=1)
+        parallel = check_agreement(tests, Arch.ARM, workers=4)
+        assert serial.total == parallel.total == 10
+        assert serial.agreeing == parallel.agreeing
+        assert serial.disagreements == parallel.disagreements
+
+    def test_parallel_results_are_bit_identical(self):
+        jobs = [Job(test=t, model="promising") for t in battery(6)]
+        serial = run_jobs(jobs, workers=1)
+        parallel = run_jobs(jobs, workers=3)
+        for a, b in zip(serial, parallel):
+            assert a.name == b.name
+            assert a.verdict is b.verdict
+            assert set(a.outcomes) == set(b.outcomes)
+            assert a.stats == b.stats
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_timeout_does_not_poison_the_batch(self, workers):
+        # The first and last jobs finish in a few milliseconds; the middle
+        # one needs hundreds and must surface as a timeout result.
+        quick = get_test("MP")
+        slow = Job.for_program(spinlock_rust(2, 1).program, "promising", name="slow")
+        jobs = [Job(test=quick, model="promising"), slow, Job(test=quick, model="axiomatic")]
+        results = run_jobs(jobs, workers=workers, timeout=0.05)
+        statuses = [r.status for r in results]
+        assert statuses[1] == STATUS_TIMEOUT
+        assert results[1].outcomes is None
+        assert statuses[0] == STATUS_OK and statuses[2] == STATUS_OK
+
+    def test_content_identical_jobs_execute_once(self, monkeypatch):
+        import repro.harness.scheduler as scheduler_module
+
+        calls = []
+        original = scheduler_module._invoke
+
+        def counting(payload):
+            calls.append(payload[0].test.name)
+            return original(payload)
+
+        monkeypatch.setattr(scheduler_module, "_invoke", counting)
+        from repro.litmus.test import LitmusTest
+
+        base = get_test("MP")
+        twin = LitmusTest("MP-twin", base.program, base.condition, base.expected)
+        results = run_jobs(
+            [Job(test=base, model="promising"), Job(test=twin, model="promising")]
+        )
+        assert calls == ["MP"]  # the content-identical twin was not re-run
+        assert [r.name for r in results] == ["MP", "MP-twin"]
+        assert set(results[0].outcomes) == set(results[1].outcomes)
+        assert results[1].expected is twin.expected_verdict(Arch.ARM)
+
+    def test_cache_write_failure_does_not_sink_the_batch(self, tmp_path, monkeypatch):
+        import repro.harness.cache as cache_module
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_module.os, "replace", broken_replace)
+        cache = ResultCache(tmp_path)
+        results = run_jobs([Job(test=t, model="promising") for t in battery(3)], cache=cache)
+        assert all(r.ok for r in results)
+        assert len(cache) == 0  # nothing persisted, nothing crashed
+
+    def test_error_is_captured_per_job(self):
+        from repro.lang import make_program
+        from repro.litmus.conditions import TrueCond
+        from repro.litmus.test import LitmusTest
+
+        broken = LitmusTest("broken", make_program([None]), TrueCond())
+        jobs = [Job(test=broken, model="promising"), Job(test=get_test("SB"), model="promising")]
+        results = run_jobs(jobs, workers=1)
+        assert results[0].status == STATUS_ERROR
+        assert results[0].error
+        assert results[1].status == STATUS_OK
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def test_cold_miss_then_warm_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [Job(test=t, model="promising") for t in battery(5)]
+        cold = run_jobs(jobs, cache=cache)
+        assert cache.hits == 0 and cache.misses == 5 and len(cache) == 5
+        warm = run_jobs(jobs, cache=cache)
+        assert cache.hits == 5
+        for a, b in zip(cold, warm):
+            assert not a.cached and b.cached
+            assert a.verdict is b.verdict
+            assert set(a.outcomes) == set(b.outcomes)
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        test = get_test("MP")
+        run_jobs([Job(test=test, model="promising")], cache=cache)
+        rerun = run_jobs(
+            [Job(test=test, model="promising", explore_config=ExploreConfig(loop_bound=3))],
+            cache=cache,
+        )
+        assert not rerun[0].cached
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = Job(test=get_test("MP"), model="promising")
+        run_jobs([job], cache=cache)
+        for entry in tmp_path.glob("*/*.json"):
+            entry.write_text("{not json")
+        result = run_jobs([job], cache=cache)[0]
+        assert not result.cached and result.ok
+
+    def test_schema_drifted_entry_is_a_miss(self, tmp_path):
+        # Valid JSON with the right fingerprint but an undecodable payload
+        # (e.g. written by an older schema) must degrade to a miss, not
+        # crash the sweep.
+        cache = ResultCache(tmp_path)
+        job = Job(test=get_test("MP"), model="promising")
+        run_jobs([job], cache=cache)
+        entry = next(tmp_path.glob("*/*.json"))
+        entry.write_text(json.dumps({"fingerprint": job.fingerprint(), "arch": "vax"}))
+        result = run_jobs([job], cache=cache)[0]
+        assert not result.cached and result.ok
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_jobs([Job(test=t, model="promising") for t in battery(3)], cache=cache)
+        assert cache.clear() == 3 and len(cache) == 0
+
+    def test_hit_reflects_incoming_annotations(self, tmp_path):
+        # Name and expected verdict are outside the fingerprint; a recalled
+        # result must carry the *current* job's annotations, so fixing a
+        # catalogue expectation is not masked by a stale cache entry.
+        from repro.litmus.test import LitmusTest, Verdict
+
+        cache = ResultCache(tmp_path)
+        original = get_test("MP")
+        run_jobs([Job(test=original, model="promising")], cache=cache)
+        flipped = Verdict.ALLOWED if original.expected_verdict(Arch.ARM) is Verdict.FORBIDDEN else Verdict.FORBIDDEN
+        relabelled = LitmusTest(
+            "MP-renamed", original.program, original.condition, {Arch.ARM: flipped}
+        )
+        hit = run_jobs([Job(test=relabelled, model="promising")], cache=cache)[0]
+        assert hit.cached
+        assert hit.name == "MP-renamed"
+        assert hit.expected is flipped
+        assert hit.matches_expectation is False
+
+    def test_warm_agreement_run_is_much_faster(self, tmp_path):
+        tests = battery(16)
+        cache = ResultCache(tmp_path)
+        cold = check_agreement(tests, Arch.ARM, cache=cache)
+        warm = check_agreement(tests, Arch.ARM, cache=cache)
+        assert cold.agreement_rate == warm.agreement_rate == 1.0
+        assert cache.hits == 32 and cache.misses == 32
+        # The warm run does no model work at all; a loose factor keeps this
+        # robust on noisy CI (the ≥5x assertion lives in the bench tier).
+        assert warm.elapsed_seconds * 2 <= cold.elapsed_seconds
+
+    def test_agreement_accepts_an_iterator(self):
+        report = check_agreement(t for t in battery(4))
+        assert report.total == 4 and report.agreement_rate == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Reports and the sweep entry points
+# ---------------------------------------------------------------------------
+
+REPORT_KEYS = {
+    "schema_version", "name", "generated_unix", "n_jobs", "models", "archs",
+    "status_counts", "ok", "cache", "compute_seconds", "wall_seconds",
+    "mismatches", "jobs",
+}
+
+JOB_ENTRY_KEYS = {
+    "name", "model", "arch", "status", "verdict", "expected",
+    "matches_expectation", "n_outcomes", "elapsed_seconds", "cached",
+    "error", "fingerprint", "stats",
+}
+
+
+class TestReport:
+    def test_schema_is_stable(self):
+        jobs = [Job(test=t, model=m) for t in battery(3) for m in ("promising", "axiomatic")]
+        results = run_jobs(jobs)
+        report = build_report(jobs, results, name="unit")
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
+        assert set(report) == REPORT_KEYS
+        assert all(set(entry) == JOB_ENTRY_KEYS for entry in report["jobs"])
+        assert report["ok"] is True and report["mismatches"] == []
+        json.dumps(report)  # must be JSON-serializable as-is
+
+    def test_run_sweep_writes_artifact(self, tmp_path):
+        out = tmp_path / "report.json"
+        sweep = run_sweep(
+            battery(4), ("promising", "axiomatic"), Arch.ARM,
+            workers=2, cache=tmp_path / "cache", report_path=out,
+        )
+        assert sweep.ok
+        artifact = json.loads(out.read_text())
+        assert artifact["n_jobs"] == 8
+        assert artifact["extra"]["workers"] == 2
+        assert artifact["cache"]["hit_rate"] == 0.0
+
+    def test_cli_sweep_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "out.json"
+        code = main([
+            "sweep", "--max-tests", "4", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--report", str(out),
+            "--models", "promising,axiomatic",
+        ])
+        assert code == 0
+        assert "cache hit rate" in capsys.readouterr().out
+        artifact = json.loads(out.read_text())
+        assert artifact["status_counts"] == {"ok": 8}
+        assert artifact["mismatches"] == []
+
+    def test_cli_sweep_rejects_unknown_model(self):
+        assert main(["sweep", "--models", "bogus"]) == 2
+
+    def test_truncated_runs_are_not_reported_as_mismatches(self):
+        # A budget-capped exploration has an incomplete outcome set; it
+        # must not be compared against a complete one as a disagreement.
+        from repro.harness import find_mismatches
+        from repro.flat import FlatConfig
+
+        test = get_test("MP")
+        jobs = [
+            Job(test=test, model="promising"),
+            Job(test=test, model="flat", flat_config=FlatConfig(max_states=1)),
+        ]
+        results = run_jobs(jobs)
+        assert results[1].stats["truncated"] is True
+        assert set(results[0].outcomes) != set(results[1].outcomes)
+        assert find_mismatches(jobs, results) == []
+
+    def test_distinct_tests_sharing_a_name_are_not_cross_compared(self):
+        # The generated battery and the hand-written catalogue both contain
+        # e.g. an LB+data+po; mismatch detection must group by test
+        # identity, not name, or it would compare different programs.
+        generated = next(t for t in generate_battery() if t.name == "LB+data+po")
+        catalogue = get_test("LB+data+po")
+        assert generated is not catalogue
+        sweep = run_sweep([generated, catalogue], ("promising", "axiomatic"), Arch.ARM)
+        assert sweep.ok, sweep.mismatches
