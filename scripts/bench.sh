@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Run a small litmus sweep through the parallel harness and refresh the
-# tracked perf artifact BENCH_sweep.json at the repo root.
+# tracked perf artifacts BENCH_sweep.json and BENCH_fuzz.json at the repo
+# root.
 #
 # The sweep runs twice against the persistent cache: the first (cold) run
 # computes every outcome set, the second (warm) run recalls them by
@@ -8,7 +9,14 @@
 # records the reuse rate; the cold/warm wall times are printed for the
 # perf trajectory.
 #
-# Knobs: SWEEP_TESTS (battery size), SWEEP_WORKERS, SWEEP_MODELS.
+# The fuzz stage then runs a bounded differential battery over the
+# cycle-generated corpus (promising vs axiomatic on both architectures,
+# every cycle family, capped per family so the bound preserves coverage)
+# and writes BENCH_fuzz.json: corpus size, per-model timings, mismatch
+# count, and the cache hit rate.
+#
+# Knobs: SWEEP_TESTS (battery size), SWEEP_WORKERS, SWEEP_MODELS,
+#        FUZZ_PER_FAMILY (fuzz corpus bound per cycle family), FUZZ_MODELS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +25,8 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 TESTS="${SWEEP_TESTS:-40}"
 WORKERS="${SWEEP_WORKERS:-2}"
 MODELS="${SWEEP_MODELS:-promising,axiomatic}"
+FUZZ_PER_FAMILY="${FUZZ_PER_FAMILY:-6}"
+FUZZ_MODELS="${FUZZ_MODELS:-promising,axiomatic}"
 CACHE_DIR=".sweep-cache"
 
 run_sweep() {
@@ -46,3 +56,20 @@ print(f"jobs: {report['n_jobs']}  statuses: {report['status_counts']}  "
       f"mismatches: {len(report['mismatches'])}")
 EOF
 echo "report written to BENCH_sweep.json"
+
+echo "== differential fuzz battery (≤$FUZZ_PER_FAMILY tests/family, $FUZZ_MODELS, arm+riscv, $WORKERS workers) =="
+python -m repro.tools fuzz \
+    --max-per-family "$FUZZ_PER_FAMILY" --workers "$WORKERS" --models "$FUZZ_MODELS" \
+    --cache-dir "$CACHE_DIR" --report BENCH_fuzz.json
+
+python - <<'EOF'
+import json
+report = json.load(open("BENCH_fuzz.json"))
+fuzz = report["extra"]["fuzz"]
+print(f"corpus: {fuzz['corpus_size']} tests over {len(fuzz['families'])} families")
+print(f"model seconds: {fuzz['model_seconds']}")
+print(f"counterexamples: {fuzz['counterexample_count']}  "
+      f"cache hit rate: {report['cache']['hit_rate'] * 100:.0f}%  "
+      f"store failures: {report['cache']['store_failures']}")
+EOF
+echo "report written to BENCH_fuzz.json"

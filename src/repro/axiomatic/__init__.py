@@ -13,6 +13,7 @@ from .model import (
     AxiomaticResult,
     AxiomaticStats,
     CandidateExecution,
+    axiomatic_verdict,
     check_axioms,
     enumerate_axiomatic_outcomes,
     preserved_ordering,
@@ -35,6 +36,7 @@ __all__ = [
     "AxiomaticResult",
     "AxiomaticStats",
     "CandidateExecution",
+    "axiomatic_verdict",
     "check_axioms",
     "enumerate_axiomatic_outcomes",
     "preserved_ordering",

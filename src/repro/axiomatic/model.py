@@ -393,6 +393,31 @@ def enumerate_axiomatic_outcomes(
     return AxiomaticResult(outcomes, stats, program)
 
 
+def axiomatic_verdict(test, config: Optional[AxiomaticConfig] = None):
+    """Verdict oracle: is ``test``'s condition observable axiomatically?
+
+    The standalone, harness-free entry point (the axiomatic models are the
+    architectures' official definitions, so their verdict is what
+    generated tests are checked against): enumerate the axiomatic
+    outcomes, project them onto the observables mentioned by the
+    condition — the same projection the litmus runner applies — and
+    evaluate the condition.  Returns a
+    :class:`~repro.litmus.test.Verdict`.  For whole corpora prefer
+    :func:`repro.litmus.synth.attach_expected`, which asks the same
+    question through the sweep harness (worker pool + result cache).
+
+    ``test`` is a :class:`~repro.litmus.test.LitmusTest` (typed loosely to
+    keep this package import-free of :mod:`repro.litmus`); pass the target
+    architecture via ``config``.
+    """
+    result = enumerate_axiomatic_outcomes(test.program, config)
+    registers = {
+        tid: sorted(names) for tid, names in test.observable_registers().items()
+    }
+    locations = sorted(test.observable_locations())
+    return test.evaluate(result.outcomes.project(registers, locations))
+
+
 __all__ = [
     "AxiomaticConfig",
     "AxiomaticStats",
@@ -401,4 +426,5 @@ __all__ = [
     "preserved_ordering",
     "check_axioms",
     "enumerate_axiomatic_outcomes",
+    "axiomatic_verdict",
 ]

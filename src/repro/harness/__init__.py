@@ -33,6 +33,15 @@ from .cache import ResultCache, open_cache
 from .scheduler import BatchStats, default_workers, run_jobs
 from .report import REPORT_SCHEMA_VERSION, build_report, find_mismatches, write_report
 from .sweep import DEFAULT_MODELS, SweepResult, build_jobs, run_sweep
+from .fuzz import (
+    CONTAINMENT_PAIRS,
+    EQUALITY_PAIRS,
+    FUZZ_MODELS,
+    FuzzResult,
+    build_fuzz_jobs,
+    differential_mismatches,
+    run_fuzz,
+)
 
 __all__ = [
     "FINGERPRINT_VERSION",
@@ -60,4 +69,11 @@ __all__ = [
     "SweepResult",
     "build_jobs",
     "run_sweep",
+    "CONTAINMENT_PAIRS",
+    "EQUALITY_PAIRS",
+    "FUZZ_MODELS",
+    "FuzzResult",
+    "build_fuzz_jobs",
+    "differential_mismatches",
+    "run_fuzz",
 ]

@@ -30,6 +30,10 @@ class ResultCache:
         self.path.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Stores that could not be persisted (full/read-only volume, …).
+        #: Surfaced in sweep reports so a cache that silently drops every
+        #: entry is visible instead of just "0% hit rate next run".
+        self.store_failures = 0
 
     def _entry_path(self, fingerprint: str) -> Path:
         return self.path / fingerprint[:2] / f"{fingerprint}.json"
@@ -78,8 +82,9 @@ class ResultCache:
             os.replace(tmp, entry)
         except OSError:
             # A full or read-only cache volume must never sink the sweep
-            # that already holds its results in memory; the entry is
-            # simply not persisted.
+            # that already holds its results in memory; the entry is not
+            # persisted, but the failure is counted and reported.
+            self.store_failures += 1
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:

@@ -95,8 +95,22 @@ def build_report(
     name: str = "sweep",
     wall_seconds: Optional[float] = None,
     extra: Optional[Mapping] = None,
+    cache=None,
+    mismatches: Optional[Sequence[dict]] = None,
 ) -> dict:
-    """Assemble the JSON-ready report for one sweep."""
+    """Assemble the JSON-ready report for one sweep.
+
+    ``cache`` (a :class:`~repro.harness.cache.ResultCache`, optional) adds
+    persistence accounting — in particular ``store_failures``, so a sweep
+    whose results could not be written back (read-only or full cache
+    volume) is visible next to the hit rate instead of silently producing
+    a cold rerun.
+
+    ``mismatches`` overrides the generic pairwise :func:`find_mismatches`
+    pass — callers with their own comparison policy (the differential
+    fuzzer) supply the already-computed list instead of paying for a
+    pairwise sweep whose result would be discarded.
+    """
     statuses: dict[str, int] = {}
     for result in results:
         statuses[result.status] = statuses.get(result.status, 0) + 1
@@ -117,10 +131,13 @@ def build_report(
             "misses": len(results) - cache_hits,
             "hit_rate": cache_hits / len(results) if results else 0.0,
             "saved_seconds": saved_seconds,
+            "store_failures": getattr(cache, "store_failures", 0),
         },
         "compute_seconds": compute_seconds,
         "wall_seconds": wall_seconds,
-        "mismatches": find_mismatches(jobs, results),
+        "mismatches": (
+            list(mismatches) if mismatches is not None else find_mismatches(jobs, results)
+        ),
         "jobs": [job_entry(r) for r in results],
     }
     if extra:

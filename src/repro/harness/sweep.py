@@ -50,10 +50,13 @@ class SweepResult:
         statuses = ", ".join(
             f"{count} {status}" for status, count in sorted(self.report["status_counts"].items())
         )
+        store_failures = self.report["cache"].get("store_failures", 0)
         lines = [
             f"{self.report['n_jobs']} jobs ({statuses}) over "
             f"{'+'.join(self.report['models'])} in {self.wall_seconds:.1f}s "
-            f"(cache hit rate {self.report['cache']['hit_rate'] * 100:.0f}%)"
+            f"(cache hit rate {self.report['cache']['hit_rate'] * 100:.0f}%"
+            + (f", {store_failures} store failures" if store_failures else "")
+            + ")"
         ]
         for mismatch in self.mismatches:
             lines.append(
@@ -120,6 +123,7 @@ def run_sweep(
         results,
         name=name,
         wall_seconds=wall,
+        cache=cache,
         extra={
             "workers": workers,
             "timeout_seconds": timeout,

@@ -168,15 +168,27 @@ def _location_names(env: LocationEnv) -> list[str]:
 
 
 def _normalise_registers_in_condition(condition: Condition, arch: Arch) -> Condition:
-    """Rewrite ``1:X0`` style register references to canonical names."""
+    """Rewrite ``1:X0`` style register references to canonical names.
+
+    A register the target architecture cannot name is a malformed litmus
+    file, not something to pass through: an un-normalised reference would
+    never match the assembled program's registers, silently evaluating to
+    the initial value 0 *and* corrupting the job fingerprint relative to
+    an otherwise-identical test written with canonical names.
+    """
+    from ..isa.armv8 import Armv8ParseError
+    from ..isa.riscv import RiscvParseError
     from .conditions import And, MemEq, Not as NotCond, Or, RegEq, TrueCond
 
     def rewrite(cond: Condition) -> Condition:
         if isinstance(cond, RegEq):
             try:
                 return RegEq(cond.tid, normalise_register(cond.reg, arch), cond.value)
-            except Exception:
-                return cond
+            except (Armv8ParseError, RiscvParseError) as exc:
+                raise LitmusFormatError(
+                    f"malformed register reference {cond.tid}:{cond.reg} "
+                    f"in condition: {exc}"
+                ) from exc
         if isinstance(cond, And):
             return And(tuple(rewrite(p) for p in cond.parts))
         if isinstance(cond, Or):

@@ -1,201 +1,105 @@
 """Generated litmus-test families for the agreement experiment.
 
 The paper validates the executable model against the axiomatic models on
-thousands of generated litmus tests.  This module plays the role of the
-diy-style generator: it produces systematic families of tests by taking a
-basic shape (MP, LB, SB, S, R, 2+2W, WRC) and decorating each thread-local
-edge with an ordering mechanism (nothing, address/data/control dependency,
-control+isb, one of the barriers, release/acquire annotations).
+thousands of generated litmus tests.  The classic two/three-thread shapes
+(MP, LB, SB, S, WRC) exposed here are thin wrappers over the cycle core
+(:mod:`repro.litmus.cycles` + :mod:`repro.litmus.synth`): each family is a
+relaxation-edge cycle whose program-order slots range over the requested
+:class:`Linkage` sets, and the program plus final-state condition are
+derived from the cycle.  The much larger battery of cycle families
+(including 4-thread and 3-location shapes and internal rf/co/fr variants)
+lives in :func:`repro.litmus.synth.generate_cycle_battery`.
 
-Generated tests carry no expected verdict — they are used to compare the
-promising and axiomatic implementations against each other, which is
-exactly how the paper uses its litmus batteries.
+Tests generated here carry no expected verdict — they are used to compare
+the promising and axiomatic implementations against each other, which is
+exactly how the paper uses its litmus batteries.  (The cycle battery can
+additionally attach axiomatic-oracle verdicts via
+:func:`repro.litmus.synth.attach_expected`.)
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from ..lang import (
-    DMB_LD,
-    DMB_ST,
-    DMB_SY,
-    Isb,
-    LocationEnv,
-    R,
-    ReadKind,
-    Stmt,
-    WriteKind,
-    dependency_idiom,
-    if_,
-    load,
-    make_program,
-    seq,
-    store,
+from ..lang import DMB_SY
+from .cycles import (
+    Coe,
+    Cycle,
+    Fre,
+    LINKS_RR,
+    LINKS_RW,
+    LINKS_WW,
+    Linkage,
+    READ,
+    Rfe,
+    WRITE,
+    po,
 )
-from .conditions import MemEq, RegEq, cond_and
+from .synth import synthesize
 from .test import LitmusTest
 
-
-@dataclass(frozen=True)
-class Linkage:
-    """How two consecutive accesses of a thread are ordered (or not).
-
-    ``barrier`` is inserted between the accesses; ``addr``/``data``/``ctrl``
-    request the corresponding syntactic dependency from the first access's
-    destination register; ``acquire``/``release`` strengthen the access
-    kinds themselves.
-    """
-
-    name: str
-    barrier: Optional[Stmt] = None
-    addr: bool = False
-    data: bool = False
-    ctrl: bool = False
-    isb: bool = False
-    acquire_first: bool = False
-    release_second: bool = False
-
-    def __repr__(self) -> str:
-        return self.name
-
-
 #: Linkages applicable between a load and a following access.
-READ_LINKAGES: tuple[Linkage, ...] = (
-    Linkage("po"),
-    Linkage("addr", addr=True),
-    Linkage("ctrl", ctrl=True),
-    Linkage("ctrlisb", ctrl=True, isb=True),
-    Linkage("dmb.sy", barrier=DMB_SY),
-    Linkage("dmb.ld", barrier=DMB_LD),
-    Linkage("acq", acquire_first=True),
-)
+READ_LINKAGES: tuple[Linkage, ...] = LINKS_RR
 
 #: Linkages applicable between a load and a following *store* (adds data).
-READ_TO_WRITE_LINKAGES: tuple[Linkage, ...] = READ_LINKAGES + (
-    Linkage("data", data=True),
-    Linkage("rel", release_second=True),
-)
+READ_TO_WRITE_LINKAGES: tuple[Linkage, ...] = LINKS_RW
 
 #: Linkages applicable between a store and a following access.
-WRITE_LINKAGES: tuple[Linkage, ...] = (
-    Linkage("po"),
-    Linkage("dmb.sy", barrier=DMB_SY),
-    Linkage("dmb.st", barrier=DMB_ST),
-    Linkage("rel", release_second=True),
-)
+WRITE_LINKAGES: tuple[Linkage, ...] = LINKS_WW
 
-
-def _reader_then(env: LocationEnv, first_loc: str, second: Callable, link: Linkage,
-                 reg: str, second_is_store: bool) -> Stmt:
-    """Build ``load reg, [first]; <link>; second`` for a reader-first thread."""
-    kind = ReadKind.ACQ if link.acquire_first else ReadKind.PLN
-    first = load(reg, env[first_loc], kind=kind)
-    tail = second(link)
-    parts = [first]
-    if link.barrier is not None:
-        parts.append(link.barrier)
-    if link.ctrl:
-        inner = seq(Isb(), tail) if link.isb else tail
-        parts.append(if_(R(reg).ge(0), inner, inner))
-        return seq(*parts)
-    parts.append(tail)
-    return seq(*parts)
-
-
-def _writer_then(env: LocationEnv, first_loc: str, first_val: int,
-                 second: Callable, link: Linkage) -> Stmt:
-    """Build ``store [first] val; <link>; second`` for a writer-first thread."""
-    first = store(env[first_loc], first_val)
-    tail = second(link)
-    parts = [first]
-    if link.barrier is not None:
-        parts.append(link.barrier)
-    parts.append(tail)
-    return seq(*parts)
-
-
-def _second_load(env: LocationEnv, loc: str, reg: str, dep_reg: Optional[str]):
-    def build(link: Linkage) -> Stmt:
-        addr = dependency_idiom(env[loc], dep_reg) if (link.addr and dep_reg) else env[loc]
-        return load(reg, addr)
-
-    return build
-
-
-def _second_store(env: LocationEnv, loc: str, value: int, dep_reg: Optional[str]):
-    def build(link: Linkage) -> Stmt:
-        addr = dependency_idiom(env[loc], dep_reg) if (link.addr and dep_reg) else env[loc]
-        data = (value + (R(dep_reg) - R(dep_reg))) if (link.data and dep_reg) else value
-        kind = WriteKind.REL if link.release_second else WriteKind.PLN
-        return store(addr, data, kind=kind)
-
-    return build
+_DMB = Linkage("dmb", barrier=DMB_SY)
 
 
 def generate_mp(read_links: Sequence[Linkage] = READ_LINKAGES,
                 write_links: Sequence[Linkage] = WRITE_LINKAGES) -> Iterator[LitmusTest]:
     """MP variants: writer edge × reader edge."""
     for wl, rl in itertools.product(write_links, read_links):
-        env = LocationEnv()
-        writer = _writer_then(env, "x", 1, _second_store(env, "y", 1, None), wl)
-        reader = _reader_then(env, "y", _second_load(env, "x", "r2", "r1"), rl, "r1", False)
-        name = f"MP+{wl.name}+{rl.name}"
-        program = make_program([writer, reader], env=env, name=name)
-        yield LitmusTest(name, program, cond_and(RegEq(1, "r1", 1), RegEq(1, "r2", 0)))
+        yield synthesize(Cycle(
+            f"MP+{wl.name}+{rl.name}",
+            (po(WRITE, WRITE, wl), Rfe, po(READ, READ, rl), Fre),
+            family="MP",
+        ))
 
 
 def generate_lb(links: Sequence[Linkage] = READ_TO_WRITE_LINKAGES) -> Iterator[LitmusTest]:
     """LB variants: the R→W edge on each thread."""
     for l0, l1 in itertools.product(links, links):
-        env = LocationEnv()
-        t0 = _reader_then(env, "x", _second_store(env, "y", 1, "r1"), l0, "r1", True)
-        t1 = _reader_then(env, "y", _second_store(env, "x", 1, "r2"), l1, "r2", True)
-        name = f"LB+{l0.name}+{l1.name}"
-        program = make_program([t0, t1], env=env, name=name)
-        yield LitmusTest(name, program, cond_and(RegEq(0, "r1", 1), RegEq(1, "r2", 1)))
+        yield synthesize(Cycle(
+            f"LB+{l0.name}+{l1.name}",
+            (po(READ, WRITE, l0), Rfe, po(READ, WRITE, l1), Rfe),
+            family="LB",
+        ))
 
 
 def generate_sb(links: Sequence[Linkage] = WRITE_LINKAGES) -> Iterator[LitmusTest]:
     """SB variants: the W→R edge on each thread."""
     for l0, l1 in itertools.product(links, links):
-        env = LocationEnv()
-        t0 = _writer_then(env, "x", 1, _second_load(env, "y", "r1", None), l0)
-        t1 = _writer_then(env, "y", 1, _second_load(env, "x", "r2", None), l1)
-        name = f"SB+{l0.name}+{l1.name}"
-        program = make_program([t0, t1], env=env, name=name)
-        yield LitmusTest(name, program, cond_and(RegEq(0, "r1", 0), RegEq(1, "r2", 0)))
+        yield synthesize(Cycle(
+            f"SB+{l0.name}+{l1.name}",
+            (po(WRITE, READ, l0), Fre, po(WRITE, READ, l1), Fre),
+            family="SB",
+        ))
 
 
 def generate_s(read_links: Sequence[Linkage] = READ_TO_WRITE_LINKAGES) -> Iterator[LitmusTest]:
     """S variants: writer uses dmb; the reader R→W edge varies."""
     for rl in read_links:
-        env = LocationEnv()
-        writer = seq(store(env["x"], 2), DMB_SY, store(env["y"], 1))
-        reader = _reader_then(env, "y", _second_store(env, "x", 1, "r1"), rl, "r1", True)
-        name = f"S+dmb+{rl.name}"
-        program = make_program([writer, reader], env=env, name=name)
-        yield LitmusTest(
-            name, program, cond_and(RegEq(1, "r1", 1), MemEq(env["x"], 2, "x"))
-        )
+        yield synthesize(Cycle(
+            f"S+dmb+{rl.name}",
+            (po(WRITE, WRITE, _DMB), Rfe, po(READ, WRITE, rl), Coe),
+            family="S",
+        ))
 
 
 def generate_wrc(read_links: Sequence[Linkage] = READ_LINKAGES) -> Iterator[LitmusTest]:
     """WRC variants: the two reader edges vary."""
     for l1, l2 in itertools.product(read_links, read_links):
-        env = LocationEnv()
-        t0 = store(env["x"], 1)
-        t1 = _reader_then(env, "x", _second_store(env, "y", 1, "r1"), l1, "r1", True)
-        t2 = _reader_then(env, "y", _second_load(env, "x", "r3", "r2"), l2, "r2", False)
-        name = f"WRC+{l1.name}+{l2.name}"
-        program = make_program([t0, t1, t2], env=env, name=name)
-        yield LitmusTest(
-            name,
-            program,
-            cond_and(RegEq(1, "r1", 1), RegEq(2, "r2", 1), RegEq(2, "r3", 0)),
-        )
+        yield synthesize(Cycle(
+            f"WRC+{l1.name}+{l2.name}",
+            (Rfe, po(READ, WRITE, l1), Rfe, po(READ, READ, l2), Fre),
+            family="WRC",
+        ))
 
 
 def generate_battery(max_tests: Optional[int] = None) -> list[LitmusTest]:

@@ -1,0 +1,347 @@
+"""Synthesize executable litmus tests from relaxation cycles.
+
+Given a :class:`~repro.litmus.cycles.Cycle`, :func:`synthesize` derives the
+whole test the way diy does:
+
+* **events** — edge *i* runs from event *i* to event *i+1* (mod *n*); the
+  direction of event *i* is edge *i*'s source direction;
+* **threads** — external edges advance to the next thread, so the events
+  between two external edges form one thread;
+* **locations** — communication edges stay on their location, ``po`` edges
+  with a location change rotate through the cycle's location pool
+  (``x``, ``y``, ``z``, …), returning to the start at the wrap-around;
+* **values** — per location, the writes along its (contiguous) arc of the
+  cycle are its coherence order and receive values 1, 2, …;
+* **condition** — each read pinned by an incoming ``rf`` edge must return
+  the source write's value; each read with an outgoing ``fr`` edge must
+  return the value coherence-before the target write; each location with
+  two or more writes must end with its coherence-final value.  The
+  conjunction is satisfiable iff the cycle is observable, so the test's
+  verdict is exactly the §7 question asked of each model.  Cycles whose
+  per-location constraints are contradictory (a co-closed single-location
+  cycle, or a read whose rf source is not the coherence predecessor of
+  its fr target) cannot be witnessed by any final state and are rejected
+  with a :class:`~repro.litmus.cycles.CycleError`.
+
+The derived expected verdict is *not* hardcoded: :func:`attach_expected`
+runs the axiomatic model (the paper's reference) through the sweep harness
+and records its verdict per architecture, giving every generated test an
+oracle the differential fuzzing battery can check the operational models
+against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional, Sequence, Union
+
+from ..lang import (
+    Isb,
+    LocationEnv,
+    R,
+    ReadKind,
+    Stmt,
+    WriteKind,
+    dependency_idiom,
+    if_,
+    load,
+    make_program,
+    seq,
+    store,
+)
+from ..lang.kinds import Arch
+from .conditions import MemEq, RegEq, cond_and
+from .cycles import (
+    Cycle,
+    CycleError,
+    FAMILIES,
+    Family,
+    READ,
+    WRITE,
+    get_family,
+)
+from .test import LitmusTest, Verdict
+
+#: Location names in rotation order (extended with ``l<i>`` if exhausted).
+_LOC_POOL = ("x", "y", "z", "w", "v", "u")
+
+
+def _loc_name(index: int) -> str:
+    return _LOC_POOL[index] if index < len(_LOC_POOL) else f"l{index}"
+
+
+def synthesize(cycle: Cycle) -> LitmusTest:
+    """Derive the litmus test observing ``cycle``.
+
+    Deterministic: the same cycle always produces a byte-identical
+    program, register assignment, and condition.
+    """
+    edges = cycle.edges
+    n = len(edges)
+    dirs = [edge.src for edge in edges]
+
+    # -- threads: external edges advance to the next thread -----------------
+    tids = []
+    tid = 0
+    for edge in edges:
+        tids.append(tid)
+        if edge.external:
+            tid += 1
+    n_threads = tid
+
+    # -- locations: loc-changing edges rotate through the pool --------------
+    n_locs = cycle.n_locations
+    env = LocationEnv()
+    for index in range(n_locs):
+        env.loc(_loc_name(index))
+    loc_index = [0] * n
+    for i in range(1, n):
+        loc_index[i] = (loc_index[i - 1] + (1 if edges[i - 1].loc_change else 0)) % n_locs
+    locs = [env[_loc_name(index)] for index in loc_index]
+
+    # -- values: per-location coherence order along the location's arc ------
+    # Each location's events form one contiguous arc of the cycle (it is
+    # entered by exactly one location-changing edge); the writes along the
+    # arc are its coherence chain and get values 1, 2, ….
+    values: dict[int, int] = {}
+    for index in range(n_locs):
+        arc = _location_arc(edges, loc_index, index)
+        value = 0
+        for event in arc:
+            if dirs[event] == WRITE:
+                value += 1
+                values[event] = value
+
+    # -- consistency: the derived condition must actually pin the cycle -----
+    # A single-location cycle closed by a co edge demands a cyclic
+    # coherence order (e.g. CoWW: W —coe→ W —coe→ back) — no execution
+    # exhibits it, and the final-value condition could not witness it.
+    if n_locs == 1 and edges[-1].kind == "co":
+        raise CycleError(
+            f"{cycle.name}: a single-location cycle closed by a co edge "
+            "demands a cyclic coherence order; the final state cannot "
+            "observe it"
+        )
+    # A read pinned by an incoming rf *and* an outgoing fr must be given
+    # one value satisfying both: the rf source has to be the coherence
+    # predecessor of the fr target.
+    for i in range(n):
+        if dirs[i] != READ:
+            continue
+        incoming = edges[i - 1] if i > 0 else edges[-1]
+        outgoing = edges[i]
+        if incoming.kind == "rf" and outgoing.kind == "fr":
+            rf_value = values[(i - 1) % n]
+            fr_value = values[(i + 1) % n] - 1
+            if rf_value != fr_value:
+                raise CycleError(
+                    f"{cycle.name}: event {i} must read {rf_value} (its rf "
+                    f"source) and {fr_value} (coherence-before its fr "
+                    "target) at once; the cycle's constraints contradict"
+                )
+
+    # -- registers: reads take r1, r2, … in cycle order ----------------------
+    regs: dict[int, str] = {}
+    for i in range(n):
+        if dirs[i] == READ:
+            regs[i] = f"r{len(regs) + 1}"
+
+    # -- access kinds from the linkage annotations ---------------------------
+    read_kinds = {i: ReadKind.PLN for i in range(n) if dirs[i] == READ}
+    write_kinds = {i: WriteKind.PLN for i in range(n) if dirs[i] == WRITE}
+    for i, edge in enumerate(edges):
+        if edge.is_comm:
+            continue
+        if edge.link.acquire_first and dirs[i] == READ:
+            read_kinds[i] = ReadKind.ACQ
+        tgt = (i + 1) % n
+        if edge.link.release_second and dirs[tgt] == WRITE:
+            write_kinds[tgt] = WriteKind.REL
+
+    # -- per-thread statements ------------------------------------------------
+    threads: list[Stmt] = []
+    for t in range(n_threads):
+        events = [i for i in range(n) if tids[i] == t]
+        parts: list[Stmt] = []
+        for offset, i in enumerate(events):
+            incoming = edges[i - 1] if i > 0 else edges[-1]
+            link = incoming.link if (offset > 0 and not incoming.is_comm) else None
+            dep_reg = regs.get(events[offset - 1]) if offset > 0 else None
+            if link is not None and link.barrier is not None:
+                parts.append(link.barrier)
+            stmt = _access(i, dirs, locs, regs, values, read_kinds, write_kinds, link, dep_reg)
+            if link is not None and link.ctrl and dep_reg is not None:
+                inner = seq(Isb(), stmt) if link.isb else stmt
+                stmt = if_(R(dep_reg).ge(0), inner, inner)
+            parts.append(stmt)
+        threads.append(seq(*parts))
+
+    program = make_program(threads, env=env, name=cycle.name)
+
+    # -- condition: the observation pinning the cycle -------------------------
+    reg_conds = []
+    for i in range(n):
+        if dirs[i] != READ:
+            continue
+        incoming = edges[i - 1] if i > 0 else edges[-1]
+        outgoing = edges[i]
+        if incoming.kind == "rf":
+            observed = values[i - 1 if i > 0 else n - 1]
+        elif outgoing.kind == "fr":
+            observed = values[(i + 1) % n] - 1
+        else:
+            continue  # read not constrained by the cycle
+        reg_conds.append(RegEq(tids[i], regs[i], observed))
+    mem_conds = []
+    for index in range(n_locs):
+        writers = [i for i in range(n) if loc_index[i] == index and dirs[i] == WRITE]
+        if len(writers) >= 2:
+            name = _loc_name(index)
+            mem_conds.append(MemEq(env[name], max(values[i] for i in writers), name))
+    condition = cond_and(*reg_conds, *mem_conds)
+
+    return LitmusTest(
+        cycle.name,
+        program,
+        condition,
+        {},
+        f"cycle {cycle.family or cycle.name}: {cycle.spec()}",
+    )
+
+
+def _location_arc(edges, loc_index: list[int], index: int) -> list[int]:
+    """The events of location ``index`` in arc (coherence-chain) order."""
+    n = len(edges)
+    members = [i for i in range(n) if loc_index[i] == index]
+    if len(members) == n:  # single-location cycle: walk order from event 0
+        return members
+    # The arc starts at the unique event entered by a location change.
+    start = next(i for i in members if loc_index[(i - 1) % n] != index)
+    arc = []
+    event = start
+    while loc_index[event] == index:
+        arc.append(event)
+        event = (event + 1) % n
+        if event == start:
+            break
+    return arc
+
+
+def _access(i, dirs, locs, regs, values, read_kinds, write_kinds, link, dep_reg) -> Stmt:
+    """The load/store statement of event ``i`` with dependency idioms."""
+    addr = locs[i]
+    if link is not None and link.addr and dep_reg is not None:
+        addr = dependency_idiom(addr, dep_reg)
+    if dirs[i] == READ:
+        return load(regs[i], addr, kind=read_kinds[i])
+    data = values[i]
+    if link is not None and link.data and dep_reg is not None:
+        data = dependency_idiom(data, dep_reg)
+    return store(addr, data, kind=write_kinds[i])
+
+
+def canonical_fingerprint(test: LitmusTest) -> str:
+    """Content key identifying a generated test up to renaming nothing.
+
+    Two tests with the same threads, initial memory, and condition are the
+    same test regardless of their cycle names; the battery uses this to
+    drop duplicates (e.g. a degenerate linkage collapsing onto ``po``).
+    """
+    return "\x1f".join(
+        (
+            repr(test.program.threads),
+            repr(sorted(test.program.initial.items())),
+            test.condition.canonical(),
+        )
+    )
+
+
+def generate_cycles(
+    families: Optional[Sequence[Union[str, Family]]] = None,
+    *,
+    max_per_family: Optional[int] = 64,
+) -> Iterable[Cycle]:
+    """All cycles of the requested families in deterministic order."""
+    resolved = [
+        get_family(f) if isinstance(f, str) else f for f in (families or FAMILIES)
+    ]
+    for family in resolved:
+        yield from family.expand(max_cycles=max_per_family)
+
+
+def generate_cycle_battery(
+    families: Optional[Sequence[Union[str, Family]]] = None,
+    *,
+    max_tests: Optional[int] = None,
+    max_per_family: Optional[int] = 64,
+) -> list[LitmusTest]:
+    """The deterministic, duplicate-free cycle-generated battery.
+
+    Tests appear family by family in expansion order; duplicates by
+    :func:`canonical_fingerprint` are dropped (first occurrence wins), so
+    no two returned tests are the same program+condition.  ``max_tests``
+    truncation is a plain prefix and therefore deterministic as well.
+    """
+    battery: list[LitmusTest] = []
+    seen: set[str] = set()
+    for cycle in generate_cycles(families, max_per_family=max_per_family):
+        if max_tests is not None and len(battery) >= max_tests:
+            break
+        test = synthesize(cycle)
+        key = canonical_fingerprint(test)
+        if key in seen:
+            continue
+        seen.add(key)
+        battery.append(test)
+    return battery
+
+
+def attach_expected(
+    tests: Sequence[LitmusTest],
+    archs: Sequence[Arch] = (Arch.ARM, Arch.RISCV),
+    *,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    cache=None,
+    axiomatic_config=None,
+) -> list[LitmusTest]:
+    """Return copies of ``tests`` with axiomatic-oracle expected verdicts.
+
+    The oracle runs through the sweep harness (worker pool + result
+    cache), so computing expectations for a large corpus costs one
+    axiomatic sweep — which the differential battery reuses via the cache.
+    Tests whose oracle job fails, times out, or hits an enumeration budget
+    (a truncated run has an incomplete outcome set, so its verdict cannot
+    be trusted) keep no expectation for that architecture.
+    """
+    from ..harness.jobs import Job
+    from ..harness.scheduler import run_jobs
+
+    jobs = [
+        Job(test=test, model="axiomatic", arch=arch, axiomatic_config=axiomatic_config)
+        for test in tests
+        for arch in archs
+    ]
+    results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache)
+    attached = []
+    for index, test in enumerate(tests):
+        expected: dict[Arch, Verdict] = dict(test.expected)
+        for offset, arch in enumerate(archs):
+            result = results[index * len(archs) + offset]
+            if (
+                result.ok
+                and result.verdict is not None
+                and not result.stats.get("truncated")
+            ):
+                expected[arch] = result.verdict
+        attached.append(dataclasses.replace(test, expected=expected))
+    return attached
+
+
+__all__ = [
+    "synthesize",
+    "canonical_fingerprint",
+    "generate_cycles",
+    "generate_cycle_battery",
+    "attach_expected",
+]

@@ -19,6 +19,7 @@ Two explorers are provided:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -59,14 +60,10 @@ class ExploreConfig:
     shared_locations: tuple[Loc, ...] = ()
 
     def for_arch(self, arch: Arch) -> "ExploreConfig":
-        return ExploreConfig(
-            arch=arch,
-            loop_bound=self.loop_bound,
-            cert_fuel=self.cert_fuel,
-            max_states=self.max_states,
-            localise=self.localise,
-            shared_locations=self.shared_locations,
-        )
+        # ``dataclasses.replace`` rather than a field-by-field copy, so a
+        # config field added later is carried over instead of silently
+        # reset to its default when the harness re-targets an arch.
+        return dataclasses.replace(self, arch=arch)
 
 
 @dataclass

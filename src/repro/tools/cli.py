@@ -9,25 +9,33 @@ Sub-commands mirror how the paper's rmem-based tool is used:
 * ``agreement`` — compare the promising and axiomatic models on the
   generated litmus battery;
 * ``sweep`` — run a battery across several models through the parallel
-  sweep harness, with a persistent result cache and a JSON report.
+  sweep harness, with a persistent result cache and a JSON report;
+* ``fuzz`` — differential fuzzing: run the cycle-generated corpus across
+  models and architectures, reporting every cross-model disagreement as a
+  counterexample with its reproducing test source.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import tempfile
 from pathlib import Path
 
-from ..harness import DEFAULT_MODELS, MODELS, run_sweep
+from ..harness import DEFAULT_MODELS, MODELS, run_fuzz, run_sweep
 from ..lang.kinds import Arch
 from ..litmus import (
     all_tests,
+    attach_expected,
     check_agreement,
     generate_battery,
+    generate_cycle_battery,
     get_test,
     run_axiomatic,
     run_promising,
 )
+from ..litmus.cycles import FAMILIES_BY_NAME
 from ..litmus.format import parse_litmus
 from ..promising import ExploreConfig, InteractiveSession, explore
 
@@ -111,6 +119,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown model(s) {', '.join(unknown)}; choose from {', '.join(MODELS)}")
         return 2
+    if not models:
+        print(f"no models given; choose from {', '.join(MODELS)}")
+        return 2
     tests = generate_battery(max_tests=args.max_tests)
     if args.catalogue:
         tests = tests + [t for t in all_tests() if t.program.n_threads <= 3]
@@ -133,6 +144,87 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.report:
         print(f"report written to {args.report}")
     return 0 if sweep.ok else 1
+
+
+_ARCH_NAMES = ("arm", "riscv", "risc-v", "rv64")
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+    unknown = [m for m in models if m not in MODELS]
+    if unknown:
+        print(f"unknown model(s) {', '.join(unknown)}; choose from {', '.join(MODELS)}")
+        return 2
+    if not models:
+        print(f"no models given; choose from {', '.join(MODELS)}")
+        return 2
+    arch_names = [a.strip() for a in args.archs.split(",") if a.strip()]
+    unknown_archs = [a for a in arch_names if a.lower() not in _ARCH_NAMES]
+    if unknown_archs:
+        print(
+            f"unknown arch(s) {', '.join(unknown_archs)}; "
+            f"choose from {', '.join(_ARCH_NAMES)}"
+        )
+        return 2
+    if not arch_names:
+        print(f"no architectures given; choose from {', '.join(_ARCH_NAMES)}")
+        return 2
+    archs = tuple(_arch(a) for a in arch_names)
+    families = None
+    if args.families:
+        families = [f.strip() for f in args.families.split(",") if f.strip()]
+        unknown_families = [f for f in families if f not in FAMILIES_BY_NAME]
+        if unknown_families:
+            print(
+                f"unknown cycle family(ies) {', '.join(unknown_families)}; "
+                f"choose from {', '.join(FAMILIES_BY_NAME)}"
+            )
+            return 2
+    from ..axiomatic import AxiomaticConfig
+    from ..flat import FlatConfig
+
+    tests = generate_cycle_battery(
+        families=families, max_tests=args.max_tests, max_per_family=args.max_per_family
+    )
+    with contextlib.ExitStack() as stack:
+        cache_dir = args.cache_dir
+        if args.expected and cache_dir is None:
+            # The oracle sweep and the fuzzed axiomatic jobs share their
+            # fingerprints; an ephemeral cache makes the oracle free
+            # instead of enumerating the whole corpus twice.
+            cache_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="promising-fuzz-cache-")
+            )
+        if args.expected:
+            # Attach the axiomatic-oracle verdict per architecture; the
+            # fuzz run then also checks each model against it.  The oracle
+            # uses the same config as the fuzzed axiomatic jobs, so the
+            # cache computes each outcome set only once.
+            tests = attach_expected(
+                tests,
+                archs,
+                workers=args.workers,
+                timeout=args.timeout,
+                cache=cache_dir,
+                axiomatic_config=AxiomaticConfig(loop_bound=args.loop_bound),
+            )
+
+        fuzz = run_fuzz(
+            tests,
+            models,
+            archs,
+            workers=args.workers,
+            timeout=args.timeout,
+            cache=cache_dir,
+            report_path=args.report,
+            explore_config=ExploreConfig(loop_bound=args.loop_bound),
+            axiomatic_config=AxiomaticConfig(loop_bound=args.loop_bound),
+            flat_config=FlatConfig(loop_bound=args.loop_bound),
+        )
+    print(fuzz.describe())
+    if args.report:
+        print(f"report written to {args.report}")
+    return 0 if fuzz.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,6 +279,32 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also include the hand-written catalogue tests "
                                    "(those with at most 3 threads)")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the cycle-generated corpus across models/archs",
+    )
+    fuzz_parser.add_argument("--max-tests", type=int, default=None,
+                             help="truncate the generated corpus (default: full)")
+    fuzz_parser.add_argument("--max-per-family", type=int, default=64,
+                             help="cap per cycle family (default 64)")
+    fuzz_parser.add_argument("--families", default=None,
+                             help="comma-separated cycle families (default: all)")
+    fuzz_parser.add_argument("--models", default="promising,axiomatic",
+                             help="comma-separated: promising,axiomatic,flat,promising-naive")
+    fuzz_parser.add_argument("--archs", default="arm,riscv",
+                             help="comma-separated architectures (default arm,riscv)")
+    fuzz_parser.add_argument("--workers", type=int, default=1,
+                             help="worker processes (0 = one per CPU)")
+    fuzz_parser.add_argument("--cache-dir", default=None,
+                             help="persistent result cache directory")
+    fuzz_parser.add_argument("--timeout", type=float, default=None,
+                             help="per-job timeout in seconds")
+    fuzz_parser.add_argument("--report", default=None,
+                             help="write a JSON fuzz report to this path")
+    fuzz_parser.add_argument("--expected", action="store_true",
+                             help="attach axiomatic-oracle expected verdicts to the corpus")
+    fuzz_parser.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -182,3 +182,18 @@ SMALL = [t for t in all_tests() if t.program.n_threads <= 3]
 def test_axiomatic_catalogue_verdicts(test, arch):
     result = run_axiomatic(test, arch)
     assert result.verdict is test.expected_verdict(arch), test.name
+
+
+@pytest.mark.parametrize("name", ["MP", "MP+dmb+addr", "SB+dmbs"])
+@pytest.mark.parametrize("arch", [Arch.ARM, Arch.RISCV], ids=["arm", "riscv"])
+def test_verdict_oracle_matches_runner_path(name, arch):
+    # axiomatic_verdict is the standalone oracle entry point; it must
+    # never drift from the projection+evaluation the harness job path
+    # (run_axiomatic) applies.
+    from repro.axiomatic import AxiomaticConfig, axiomatic_verdict
+    from repro.litmus import get_test
+
+    test = get_test(name)
+    oracle = axiomatic_verdict(test, AxiomaticConfig(arch=arch))
+    assert oracle is run_axiomatic(test, arch).verdict
+    assert oracle is test.expected_verdict(arch)

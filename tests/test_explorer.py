@@ -80,6 +80,26 @@ class TestExploreMechanics:
         kept = explore(program, ExploreConfig(shared_locations=(private,)))
         assert all(o.mem(private) == 3 for o in kept.outcomes)
 
+    def test_for_arch_preserves_every_field(self):
+        # ``for_arch`` must be a dataclasses.replace, not a field-by-field
+        # copy: a config field added later has to survive the harness
+        # re-targeting an arch instead of being silently reset.
+        import dataclasses
+
+        config = ExploreConfig(
+            loop_bound=5,
+            cert_fuel=123,
+            max_states=77,
+            localise=False,
+            shared_locations=(0, 8),
+        )
+        retargeted = config.for_arch(Arch.RISCV)
+        assert retargeted.arch is Arch.RISCV
+        for field in dataclasses.fields(ExploreConfig):
+            if field.name == "arch":
+                continue
+            assert getattr(retargeted, field.name) == getattr(config, field.name), field.name
+
     def test_arm_and_riscv_differ_only_where_expected(self):
         test = get_test("MP+dmbs")
         arm = run_promising(test, Arch.ARM)

@@ -269,6 +269,31 @@ class TestCache:
         assert hit.expected is flipped
         assert hit.matches_expectation is False
 
+    def test_store_failures_are_counted_and_reported(self, tmp_path):
+        # A cache that cannot persist results (read-only/full volume) must
+        # be visible in the sweep report next to the hit rate, not just
+        # show up as a mysteriously cold rerun.
+        cache = ResultCache(tmp_path)
+        tests = battery(2)
+        for test in tests:
+            job = Job(test=test, model="promising")
+            # Occupy the shard path with a *file* so the entry's mkdir
+            # fails deterministically (works even when running as root,
+            # unlike a chmod-based read-only directory).
+            shard = tmp_path / job.fingerprint()[:2]
+            if not shard.exists():
+                shard.write_text("not a directory")
+        sweep = run_sweep(tests, ("promising",), Arch.ARM, cache=cache)
+        assert sweep.ok
+        assert cache.store_failures == len(tests)
+        assert sweep.report["cache"]["store_failures"] == len(tests)
+        assert "store failures" in sweep.describe()
+        # And a healthy cache reports zero.
+        healthy = ResultCache(tmp_path / "healthy")
+        sweep = run_sweep(tests, ("promising",), Arch.ARM, cache=healthy)
+        assert healthy.store_failures == 0
+        assert sweep.report["cache"]["store_failures"] == 0
+
     def test_warm_agreement_run_is_much_faster(self, tmp_path):
         tests = battery(16)
         cache = ResultCache(tmp_path)
@@ -366,3 +391,134 @@ class TestReport:
         assert generated is not catalogue
         sweep = run_sweep([generated, catalogue], ("promising", "axiomatic"), Arch.ARM)
         assert sweep.ok, sweep.mismatches
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzzing
+# ---------------------------------------------------------------------------
+
+
+class TestFuzz:
+    def _small_fuzz(self, **kwargs):
+        from repro.harness import run_fuzz
+
+        return run_fuzz(
+            families=("MP",), max_tests=2,
+            models=("promising", "axiomatic"), archs=(Arch.ARM,), **kwargs,
+        )
+
+    def test_agreeing_corpus_has_no_counterexamples(self, tmp_path):
+        fuzz = self._small_fuzz(report_path=tmp_path / "fuzz.json")
+        assert fuzz.ok
+        assert fuzz.counterexamples == []
+        info = fuzz.report["extra"]["fuzz"]
+        assert info["corpus_size"] == 2 and info["families"] == ["MP"]
+        assert json.loads((tmp_path / "fuzz.json").read_text())["mismatches"] == []
+
+    def test_doctored_disagreement_is_a_counterexample_with_source(self):
+        from repro.harness import build_fuzz_jobs, differential_mismatches
+        from repro.litmus import generate_cycle_battery
+        from repro.outcomes import OutcomeSet
+
+        tests = generate_cycle_battery(families=("MP",), max_tests=2)
+        jobs = build_fuzz_jobs(tests, ("promising", "axiomatic"), (Arch.ARM,))
+        results = [execute_job(job) for job in jobs]
+        outcomes = list(results[1].outcomes)
+        results[1].outcomes = OutcomeSet(outcomes[:-1])  # drop one outcome
+        counterexamples, _explained = differential_mismatches(jobs, results)
+        assert len(counterexamples) == 1
+        ce = counterexamples[0]
+        assert ce["kind"] == "outcome-sets-differ"
+        assert ce["models"] == ["promising", "axiomatic"]
+        assert "cycle MP" in ce["source"] and "exists" in ce["source"]
+
+    def test_flat_subset_policy(self):
+        # Flat lacking a promising outcome is explained; flat inventing
+        # one is a counterexample.
+        from repro.harness import build_fuzz_jobs, differential_mismatches
+        from repro.litmus import generate_cycle_battery
+        from repro.outcomes import Outcome, OutcomeSet
+
+        tests = generate_cycle_battery(families=("MP",), max_tests=1)
+        jobs = build_fuzz_jobs(tests, ("promising", "flat"), (Arch.ARM,))
+        results = [execute_job(job) for job in jobs]
+        assert set(results[1].outcomes) <= set(results[0].outcomes)
+        missing = OutcomeSet(list(results[1].outcomes)[:-1])
+        results[1].outcomes = missing
+        counterexamples, explained = differential_mismatches(jobs, results)
+        assert counterexamples == [] and explained == 1
+        invented = Outcome.make([{"r1": 9}, {"r1": 9, "r2": 9}], {})
+        results[1].outcomes = OutcomeSet(list(missing) + [invented])
+        counterexamples, _explained = differential_mismatches(jobs, results)
+        assert [ce["kind"] for ce in counterexamples] == ["subset-violated"]
+
+    def test_expected_verdict_mismatch_is_a_counterexample(self):
+        # A single-model fuzz against an oracle-stamped corpus must still
+        # fail loudly when the model contradicts the expectation.
+        import dataclasses
+
+        from repro.harness import build_fuzz_jobs, differential_mismatches
+        from repro.litmus import generate_cycle_battery
+        from repro.litmus.test import Verdict
+
+        test = generate_cycle_battery(families=("CoRR",), max_tests=1)[0]
+        # CoRR violates coherence: every model forbids it. Stamp the
+        # opposite expectation to simulate a model/oracle disagreement.
+        wrong = dataclasses.replace(test, expected={Arch.ARM: Verdict.ALLOWED})
+        jobs = build_fuzz_jobs([wrong], ("promising",), (Arch.ARM,))
+        results = [execute_job(job) for job in jobs]
+        counterexamples, _explained = differential_mismatches(jobs, results)
+        assert [ce["kind"] for ce in counterexamples] == ["expected-verdict-mismatch"]
+        assert counterexamples[0]["models"] == ["promising", "expected"]
+
+    def test_cli_fuzz_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "fuzz.json"
+        code = main([
+            "fuzz", "--families", "CoRR", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--report", str(out),
+            "--expected",
+        ])
+        assert code == 0
+        assert "counterexamples: 0" in capsys.readouterr().out
+        artifact = json.loads(out.read_text())
+        assert artifact["extra"]["fuzz"]["families"] == ["CoRR"]
+        assert artifact["mismatches"] == []
+        # Every stamped expectation matched.
+        assert all(job["matches_expectation"] for job in artifact["jobs"])
+
+    def test_cli_fuzz_rejects_bad_arguments(self):
+        assert main(["fuzz", "--models", "bogus"]) == 2
+        assert main(["fuzz", "--families", "NOPE"]) == 2
+        assert main(["fuzz", "--archs", "x86"]) == 2
+        # Empty lists would run a vacuous 0-job battery and exit 0.
+        assert main(["fuzz", "--models", ","]) == 2
+        assert main(["fuzz", "--archs", ","]) == 2
+        assert main(["sweep", "--models", ","]) == 2
+
+    def test_equal_but_distinct_test_objects_still_pair_up(self):
+        # Grouping must be by content, not object identity: jobs built
+        # from two separate battery generations (equal tests, distinct
+        # objects) would otherwise compare nothing — a vacuous pass.
+        from repro.harness import build_fuzz_jobs, differential_mismatches
+        from repro.litmus import generate_cycle_battery
+        from repro.outcomes import OutcomeSet
+
+        first = generate_cycle_battery(families=("MP",), max_tests=1)
+        second = generate_cycle_battery(families=("MP",), max_tests=1)
+        assert first[0] is not second[0]
+        jobs = build_fuzz_jobs(first, ("promising",), (Arch.ARM,)) + build_fuzz_jobs(
+            second, ("axiomatic",), (Arch.ARM,)
+        )
+        results = [execute_job(job) for job in jobs]
+        assert differential_mismatches(jobs, results) == ([], 0)
+        results[1].outcomes = OutcomeSet(list(results[1].outcomes)[:-1])
+        counterexamples, _explained = differential_mismatches(jobs, results)
+        assert [ce["kind"] for ce in counterexamples] == ["outcome-sets-differ"]
+
+    def test_all_timeouts_fail_the_battery(self):
+        # A battery that never ran to completion proved nothing: it must
+        # not report success just because no counterexample surfaced.
+        fuzz = self._small_fuzz(timeout=0.0005)
+        assert fuzz.report["status_counts"] == {STATUS_TIMEOUT: 4}
+        assert fuzz.counterexamples == []
+        assert not fuzz.ok

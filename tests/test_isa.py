@@ -226,3 +226,17 @@ exists (0:a1=0)
     def test_unknown_arch_rejected(self):
         with pytest.raises(LitmusFormatError):
             parse_litmus("X86 T\n{ }\n P0 ;\n NOP ;\nexists (0:X0=0)")
+
+    def test_malformed_condition_register_rejected(self):
+        # An un-normalisable register must be a parse error, not silently
+        # kept: it would never match the program's registers (evaluating
+        # as 0) and would skew the test's content fingerprint relative to
+        # the same test written with canonical names.
+        text = self.MP.replace("exists (1:X0=1", "exists (1:Q99=1")
+        with pytest.raises(LitmusFormatError, match="malformed register"):
+            parse_litmus(text)
+
+    def test_out_of_range_condition_register_rejected(self):
+        text = self.MP.replace("exists (1:X0=1", "exists (1:X77=1")
+        with pytest.raises(LitmusFormatError, match="malformed register"):
+            parse_litmus(text)
