@@ -11,7 +11,7 @@ and then replays and prints that trace step by step.
 Run with:  python examples/interactive_debugging.py
 """
 
-from repro.lang import LocationEnv, R, load, make_program, seq, store
+from repro.lang import LocationEnv, load, make_program, seq, store
 from repro.lang.kinds import Arch
 from repro.promising import InteractiveSession, find_witness
 

@@ -16,7 +16,6 @@ Run with:  python examples/quickstart.py
 from repro.lang import (
     DMB_SY,
     LocationEnv,
-    R,
     dependency_idiom,
     load,
     make_program,

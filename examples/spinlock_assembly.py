@@ -45,8 +45,7 @@ def build(unlock: str, n_threads: int = 2):
     lock, counter = env["lock"], env["counter"]
     text = SPINLOCK_ASM.format(unlock=unlock)
     sources = [ThreadSource(text, {"X1": lock, "X5": counter}) for _ in range(n_threads)]
-    program = assemble_program(sources, Arch.ARM, env=env,
-                               name=f"SLA/{unlock}", unroll_bound=2)
+    program = assemble_program(sources, Arch.ARM, env=env, name=f"SLA/{unlock}", unroll_bound=2)
     return program, counter, assembly_line_count(sources)
 
 

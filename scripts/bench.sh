@@ -73,3 +73,16 @@ print(f"counterexamples: {fuzz['counterexample_count']}  "
       f"store failures: {report['cache']['store_failures']}")
 EOF
 echo "report written to BENCH_fuzz.json"
+
+echo "== dedup ablation (writes BENCH_dedup.json) =="
+python -m pytest -q benchmarks/test_dedup_speedup.py
+
+python - <<'EOF'
+import json
+report = json.load(open("BENCH_dedup.json"))
+agg = report["aggregate_completing_pairs"]
+print(f"dedup-on vs dedup-off (completing pairs): {agg['speedup']}x "
+      f"({agg['off_seconds']}s -> {agg['on_seconds']}s)")
+print(f"interleaved explorers (naive/flat): {report['interleaved_explorers_speedup']}x")
+EOF
+echo "report written to BENCH_dedup.json"

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Guard the tracked sweep artifact against silent regressions.
+
+Re-runs the battery recorded in a baseline report (``BENCH_sweep.json``
+by default), then compares the fresh results job-by-job:
+
+* **Semantics** — every job's projected outcome-set digest must equal the
+  baseline's (schema v2 reports carry ``outcome_digest`` per job; older
+  baselines fall back to the outcome *count*).  Any difference means a
+  model change altered an outcome set without the artifact being
+  regenerated on purpose — the exact failure mode the PR 3 dedup layer
+  must never introduce.
+
+* **Performance** — per litmus family (the test-name prefix before the
+  first ``+``), the summed fresh compute time must not exceed
+  ``--slowdown`` (default 2.0) times the baseline's, ignoring families
+  under the noise floor.
+
+Exit status: 0 clean, 1 regression found, 2 usage/baseline problems.
+
+Run it locally after touching an explorer::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py
+
+CI runs it as an advisory job (shared runners make wall-clock noisy); the
+semantic check is the part that should never fire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness import run_sweep  # noqa: E402
+from repro.harness.report import job_entry  # noqa: E402
+from repro.lang.kinds import Arch  # noqa: E402
+from repro.litmus import generate_battery  # noqa: E402
+
+
+def parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_sweep.json"),
+        help="tracked sweep report to compare against",
+    )
+    parser.add_argument(
+        "--slowdown",
+        type=float,
+        default=2.0,
+        help="per-family slowdown factor that counts as a regression",
+    )
+    parser.add_argument(
+        "--noise-floor",
+        type=float,
+        default=0.05,
+        help="ignore families whose baseline compute time is below this (s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the fresh sweep (1 = deterministic serial)",
+    )
+    parser.add_argument(
+        "--perf-advisory",
+        action="store_true",
+        help=(
+            "report per-family slowdowns without failing on them "
+            "(outcome-digest drift still exits 1); for noisy CI runners"
+        ),
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        help="optionally write the fresh sweep report to this path",
+    )
+    return parser.parse_args(argv)
+
+
+def family(name: str) -> str:
+    return name.split("+")[0]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"baseline report not found: {baseline_path}")
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    base_jobs = {
+        (j["name"], j["model"], j["arch"]): j
+        for j in baseline.get("jobs", [])
+        if j.get("status") == "ok"
+    }
+    if not base_jobs:
+        print(f"baseline report {baseline_path} has no ok jobs to compare")
+        return 2
+
+    extra = baseline.get("extra", {})
+    n_tests = extra.get("n_tests") or len({k[0] for k in base_jobs})
+    models = baseline.get("models") or ["promising", "axiomatic"]
+    arch_name = (extra.get("arch") or "ARM").upper()
+    arch = Arch.RISCV if arch_name.startswith("RISC") else Arch.ARM
+
+    print(f"baseline : {baseline_path} ({len(base_jobs)} ok jobs)")
+    print(f"fresh    : {n_tests} tests x {'+'.join(models)} on {arch.value}")
+    tests = generate_battery(max_tests=n_tests)
+    sweep = run_sweep(
+        tests,
+        tuple(models),
+        arch,
+        workers=args.workers,
+        report_path=args.report,
+        name="bench-regression-check",
+    )
+    fresh = {
+        (e["name"], e["model"], e["arch"]): e
+        for e in (job_entry(r) for r in sweep.results)
+        if e["status"] == "ok"
+    }
+
+    failures: list[str] = []
+
+    # -- semantic comparison ----------------------------------------------
+    compared = 0
+    for key, base_entry in sorted(base_jobs.items()):
+        fresh_entry = fresh.get(key)
+        if fresh_entry is None:
+            failures.append(f"missing from fresh sweep: {key}")
+            continue
+        compared += 1
+        base_digest = base_entry.get("outcome_digest")
+        if base_digest is not None:
+            if fresh_entry["outcome_digest"] != base_digest:
+                failures.append(
+                    f"outcome-set digest changed: {key} "
+                    f"{base_digest} -> {fresh_entry['outcome_digest']}"
+                )
+        elif fresh_entry["n_outcomes"] != base_entry.get("n_outcomes"):
+            failures.append(
+                f"outcome count changed: {key} "
+                f"{base_entry.get('n_outcomes')} -> {fresh_entry['n_outcomes']}"
+            )
+    differences = sum("digest" in f or "count" in f for f in failures)
+    print(f"semantic : {compared} jobs compared, {differences} differences")
+
+    # -- per-family timing ------------------------------------------------
+    base_time: dict[str, float] = {}
+    fresh_time: dict[str, float] = {}
+    for (name, _model, _arch), entry in base_jobs.items():
+        base_time[family(name)] = base_time.get(family(name), 0.0) + entry["elapsed_seconds"]
+    for (name, _model, _arch), entry in fresh.items():
+        fresh_time[family(name)] = fresh_time.get(family(name), 0.0) + entry["elapsed_seconds"]
+    print(f"{'family':12s} {'baseline':>9s} {'fresh':>9s} {'ratio':>7s}")
+    for fam in sorted(base_time):
+        base_s = base_time[fam]
+        fresh_s = fresh_time.get(fam, 0.0)
+        ratio = fresh_s / base_s if base_s else float("inf")
+        marker = ""
+        if base_s >= args.noise_floor and fresh_s > args.slowdown * base_s:
+            slowdown = f"family {fam} slowed {ratio:.2f}x ({base_s:.3f}s -> {fresh_s:.3f}s)"
+            if args.perf_advisory:
+                marker = f"  SLOWDOWN (> {args.slowdown:.1f}x, advisory)"
+            else:
+                marker = f"  REGRESSION (> {args.slowdown:.1f}x)"
+                failures.append(slowdown)
+        print(f"{fam:12s} {base_s:8.3f}s {fresh_s:8.3f}s {ratio:6.2f}x{marker}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno regressions against the tracked baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,10 @@ of the instruction stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
-from ..lang.expr import Reg, Value
+from ..lang.expr import Value
 from ..lang.kinds import FenceSet, ReadKind, WriteKind
 from ..lang.program import Loc, TId
 

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional, Sequence
 
 from ..lang.kinds import Arch
 from ..lang.program import Loc, Program, TId
@@ -143,8 +143,11 @@ def preserved_ordering(
         (dep, e.eid) for e in events for dep in e.ctrl_deps
     )
 
-    is_write = lambda eid: index[eid].is_write
-    is_read = lambda eid: index[eid].is_read
+    def is_write(eid):
+        return index[eid].is_write
+
+    def is_read(eid):
+        return index[eid].is_read
 
     addr_or_data = addr | data
     ctrl_or_addrpo = ctrl | addr.compose(po)
@@ -252,9 +255,7 @@ def _program_order(pre_execs: Sequence[PreExecution]) -> Relation:
     return Relation(pairs)
 
 
-def _rf_choices(
-    reads: Sequence[Event], writes: Sequence[Event]
-) -> Iterator[Relation]:
+def _rf_choices(reads: Sequence[Event], writes: Sequence[Event]) -> Iterator[Relation]:
     """All reads-from assignments matching locations and values."""
     per_read: list[list[Event]] = []
     for read in reads:
@@ -385,9 +386,7 @@ def enumerate_axiomatic_outcomes(
                 candidate = CandidateExecution(events, po, rf, co, rmw)
                 if check_axioms(candidate, config.arch):
                     stats.consistent += 1
-                    outcomes.add(
-                        _candidate_outcome(chosen, events, co, program.initial)
-                    )
+                    outcomes.add(_candidate_outcome(chosen, events, co, program.initial))
 
     stats.elapsed_seconds = time.perf_counter() - start
     return AxiomaticResult(outcomes, stats, program)

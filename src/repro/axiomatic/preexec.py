@@ -16,7 +16,7 @@ write can justify them under ``rf``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Iterator, Mapping, Optional
 
 from ..lang.ast import (
@@ -104,9 +104,7 @@ class TooManyPreExecutions(Exception):
     """Raised when a thread's unfolding exceeds the configured bound."""
 
 
-def _domain_for(
-    domains: ValueDomains, loc: Loc, initial: Mapping[Loc, Value]
-) -> frozenset[Value]:
+def _domain_for(domains: ValueDomains, loc: Loc, initial: Mapping[Loc, Value]) -> frozenset[Value]:
     base = domains.get(loc, frozenset())
     return base | frozenset((initial.get(loc, 0),))
 

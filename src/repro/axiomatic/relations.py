@@ -9,7 +9,7 @@ the herd/cat source text.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator
 
 from .events import Event, EventId
 
@@ -115,9 +115,7 @@ class Relation:
         for root in nodes:
             if colour[root] != WHITE:
                 continue
-            stack: list[tuple[EventId, Iterator[EventId]]] = [
-                (root, iter(succ.get(root, ())))
-            ]
+            stack: list[tuple[EventId, Iterator[EventId]]] = [(root, iter(succ.get(root, ())))]
             colour[root] = GREY
             while stack:
                 node, children = stack[-1]

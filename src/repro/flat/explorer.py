@@ -26,7 +26,7 @@ from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
 from ..lang.ast import Assign, Fence, If, Isb, Load, Seq, Skip, Stmt, Store
-from ..lang.kinds import Arch, FenceSet, ReadKind, WriteKind, VFAIL, VSUCC
+from ..lang.kinds import Arch, FenceSet, VFAIL, VSUCC
 from ..lang.program import Program, TId
 from ..lang.transform import unroll_program
 from ..lang import has_loops
@@ -35,7 +35,6 @@ from ..promising.steps import normalise
 from .machine import (
     FlatState,
     FlatThread,
-    UNAVAILABLE,
     WindowEntry,
     entry_address,
     initial_state,
@@ -55,6 +54,9 @@ class FlatConfig:
     window_size: int = 8
     #: Cap on explored machine states.
     max_states: int = 2_000_000
+    #: Deduplicate structurally identical machine states (visited set over
+    #: hash-consed state keys).  Ablation knob; outcomes are identical.
+    dedup: bool = True
 
 
 @dataclass
@@ -64,12 +66,14 @@ class FlatStats:
     restarts: int = 0
     truncated: bool = False
     elapsed_seconds: float = 0.0
+    #: Visited-set hits: symmetric interleavings reaching a known state.
+    dedup_hits: int = 0
 
     def describe(self) -> str:
         return (
             f"states: {self.states}, transitions: {self.transitions}, "
-            f"restarts: {self.restarts}, truncated: {self.truncated}, "
-            f"time: {self.elapsed_seconds:.3f}s"
+            f"restarts: {self.restarts}, dedup hits: {self.dedup_hits}, "
+            f"truncated: {self.truncated}, time: {self.elapsed_seconds:.3f}s"
         )
 
 
@@ -213,9 +217,7 @@ def _retire(thread: FlatThread) -> FlatThread:
         elif entry.kind == "store" and isinstance(stmt, Store):
             if stmt.exclusive and stmt.succ_reg is not None:
                 regs[stmt.succ_reg] = VSUCC if entry.success else VFAIL
-    return replace(
-        thread, regs=tuple(sorted(regs.items())), window=tuple(window)
-    )
+    return replace(thread, regs=tuple(sorted(regs.items())), window=tuple(window))
 
 
 def _with_thread(state: FlatState, tid: TId, thread: FlatThread) -> FlatState:
@@ -254,9 +256,7 @@ def successors(state: FlatState, config: FlatConfig) -> Iterator[tuple[str, Flat
                     yield "fetch-branch", _with_thread(state, tid, new_thread)
             else:
                 entry = WindowEntry(_entry_kind(head), head)
-                new_thread = replace(
-                    thread, window=thread.window + (entry,), continuation=rest
-                )
+                new_thread = replace(thread, window=thread.window + (entry,), continuation=rest)
                 yield "fetch", _with_thread(state, tid, new_thread)
 
         # ---- execute / resolve -------------------------------------------
@@ -291,9 +291,7 @@ def successors(state: FlatState, config: FlatConfig) -> Iterator[tuple[str, Flat
                 data = try_eval(stmt.data, regs)
                 if stmt.exclusive:
                     # Failure is always possible once the entry is fetched.
-                    failed = _update_entry(
-                        thread, index, replace(entry, done=True, success=False)
-                    )
+                    failed = _update_entry(thread, index, replace(entry, done=True, success=False))
                     failed = replace(failed, reservation=None)
                     yield "sc-fail", _with_thread(state, tid, failed)
                 if addr is None or data is None:
@@ -363,7 +361,9 @@ def explore_flat(program: Program, config: Optional[FlatConfig] = None) -> FlatR
         prepared = unroll_program(program, config.loop_bound)
     init = initial_state(prepared, config.arch)
     outcomes = OutcomeSet()
-    visited = {init}
+    visited: set[tuple] = set()
+    if config.dedup:
+        visited.add(init.cache_key())
     stack = [init]
     while stack:
         state = stack.pop()
@@ -378,9 +378,13 @@ def explore_flat(program: Program, config: Optional[FlatConfig] = None) -> FlatR
             stats.transitions += 1
             if label == "restart":
                 stats.restarts += 1
-            if succ not in visited:
-                visited.add(succ)
-                stack.append(succ)
+            if config.dedup:
+                key = succ.cache_key()
+                if key in visited:
+                    stats.dedup_hits += 1
+                    continue
+                visited.add(key)
+            stack.append(succ)
     stats.elapsed_seconds = time.perf_counter() - start
     return FlatResult(outcomes, stats, program)
 

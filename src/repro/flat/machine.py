@@ -124,6 +124,15 @@ class FlatState:
     def is_final(self) -> bool:
         return all(t.finished for t in self.threads)
 
+    def cache_key(self) -> tuple:
+        """Canonical hashable identity for the explorer's visited set.
+
+        The ``initial`` tuple is a per-program constant, so threads plus
+        the versioned storage discriminate every reachable state; keeping
+        it out of the key lets symmetric interleavings share one entry.
+        """
+        return (self.threads, self.storage)
+
     def outcome(self) -> Outcome:
         return Outcome.make([t.reg_dict() for t in self.threads], self.final_memory())
 

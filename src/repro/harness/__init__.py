@@ -31,7 +31,15 @@ from .jobs import (
 )
 from .cache import ResultCache, open_cache
 from .scheduler import BatchStats, default_workers, run_jobs
-from .report import REPORT_SCHEMA_VERSION, build_report, find_mismatches, write_report
+from .report import (
+    DEDUP_COUNTERS,
+    REPORT_SCHEMA_VERSION,
+    build_report,
+    describe_dedup,
+    find_mismatches,
+    outcome_set_digest,
+    write_report,
+)
 from .sweep import DEFAULT_MODELS, SweepResult, build_jobs, run_sweep
 from .fuzz import (
     CONTAINMENT_PAIRS,
@@ -61,9 +69,12 @@ __all__ = [
     "BatchStats",
     "default_workers",
     "run_jobs",
+    "DEDUP_COUNTERS",
     "REPORT_SCHEMA_VERSION",
     "build_report",
+    "describe_dedup",
     "find_mismatches",
+    "outcome_set_digest",
     "write_report",
     "DEFAULT_MODELS",
     "SweepResult",

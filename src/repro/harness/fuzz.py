@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # litmus imports harness (runner); keep ours lazy.
     from ..litmus.test import LitmusTest
 from .cache import ResultCache, open_cache
 from .jobs import Job, JobResult
-from .report import build_report, write_report
+from .report import build_report, describe_dedup, write_report
 from .scheduler import BatchStats, run_jobs
 
 #: Default model line-up of the differential battery.
@@ -108,9 +108,16 @@ class FuzzResult:
                 if self.report["cache"].get("store_failures")
                 else ""
             ),
+            "  " + describe_dedup(self.report),
             f"  counterexamples: {len(self.counterexamples)}"
             f" (flat-only outcomes explained away: {fuzz['explained_differences']})",
         ]
+        truncated = self.report.get("truncated_jobs", 0)
+        if truncated:
+            lines.append(
+                f"  WARNING: {truncated} truncated job(s) skipped by every "
+                "comparison — their verdicts are unverified"
+            )
         for ce in self.counterexamples:
             lines.append(
                 f"  COUNTEREXAMPLE {ce['test']} [{ce['arch']}] "

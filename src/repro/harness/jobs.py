@@ -23,7 +23,7 @@ import time
 import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional
 
 from ..axiomatic.model import AxiomaticConfig, enumerate_axiomatic_outcomes
 from ..flat.explorer import FlatConfig, explore_flat
@@ -252,16 +252,40 @@ class JobResult:
         return self.status == STATUS_OK
 
     @property
+    def truncated(self) -> bool:
+        """Whether the exploration hit a state/fuel budget.
+
+        A truncated run's outcome set is a (sound) under-approximation,
+        so its verdict is *not verified* — reports and comparisons must
+        treat it as a warning, never as a clean result.
+        """
+        return bool(self.stats.get("truncated"))
+
+    @property
+    def warning(self) -> Optional[str]:
+        if self.truncated:
+            return (
+                "exploration truncated (max_states/cert_fuel budget hit): "
+                "outcome set may be incomplete, verdict unverified"
+            )
+        return None
+
+    @property
     def matches_expectation(self) -> Optional[bool]:
-        if self.expected is None or self.verdict is None:
+        # A truncated exploration may simply not have reached the outcome
+        # that decides the verdict; refuse to confirm or deny.
+        if self.expected is None or self.verdict is None or self.truncated:
             return None
         return self.verdict is self.expected
 
     def describe(self) -> str:
         tail = self.status if not self.ok else (self.verdict.value if self.verdict else "-")
+        if self.ok and self.truncated:
+            tail += "!"
         return (
             f"{self.name:28s} {self.model:16s} {self.arch.value:7s} "
             f"{tail:9s} {self.elapsed_seconds:.3f}s{' (cached)' if self.cached else ''}"
+            f"{' [TRUNCATED]' if self.truncated else ''}"
         )
 
 

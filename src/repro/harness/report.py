@@ -9,15 +9,56 @@ tooling can rely on it.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
-from .jobs import Job, JobResult, STATUS_OK
+from .jobs import Job, JobResult, STATUS_OK, outcome_to_json
 
 #: Bump on any backwards-incompatible change to the report layout.
-REPORT_SCHEMA_VERSION = 1
+#: v2: per-job ``truncated``/``warning``/``outcome_digest`` fields, plus
+#: the top-level ``truncated_jobs`` count and ``dedup`` counter block.
+REPORT_SCHEMA_VERSION = 2
+
+#: Explorer stats counters aggregated into the report's ``dedup`` block.
+DEDUP_COUNTERS = (
+    "dedup_hits",
+    "thread_dedup_hits",
+    "completion_memo_hits",
+    "cert_calls",
+    "cert_memo_hits",
+    "interned_keys",
+    "intern_hits",
+)
+
+
+def outcome_set_digest(outcomes) -> Optional[str]:
+    """Stable content hash of a projected outcome set.
+
+    Lets report consumers (``scripts/check_bench_regression.py``) detect a
+    semantic change without shipping the full outcome payload in every
+    report row.
+    """
+    if outcomes is None:
+        return None
+    payload = sorted(
+        json.dumps(outcome_to_json(o), sort_keys=True) for o in outcomes
+    )
+    return hashlib.sha256("\x1e".join(payload).encode()).hexdigest()[:16]
+
+
+def describe_dedup(report: Mapping) -> str:
+    """One-line rendering of the report's aggregated ``dedup`` block."""
+    d = report.get("dedup") or {}
+    return (
+        f"dedup: {d.get('dedup_hits', 0)} state hits "
+        f"(+{d.get('thread_dedup_hits', 0)} per-thread, "
+        f"+{d.get('completion_memo_hits', 0)} completion), "
+        f"cert memo: {d.get('cert_memo_hits', 0)}/{d.get('cert_calls', 0)} hits, "
+        f"interning: {d.get('intern_hits', 0)} hits / {d.get('interned_keys', 0)} keys"
+    )
 
 
 def job_entry(result: JobResult) -> dict:
@@ -31,17 +72,18 @@ def job_entry(result: JobResult) -> dict:
         "expected": result.expected.value if result.expected else None,
         "matches_expectation": result.matches_expectation,
         "n_outcomes": None if result.outcomes is None else len(result.outcomes),
+        "outcome_digest": outcome_set_digest(result.outcomes),
         "elapsed_seconds": result.elapsed_seconds,
         "cached": result.cached,
+        "truncated": result.truncated,
+        "warning": result.warning,
         "error": result.error,
         "fingerprint": result.fingerprint,
         "stats": result.stats,
     }
 
 
-def find_mismatches(
-    jobs: Sequence[Job], results: Sequence[JobResult]
-) -> list[dict]:
+def find_mismatches(jobs: Sequence[Job], results: Sequence[JobResult]) -> list[dict]:
     """Cross-model outcome-set differences, per test.
 
     For every test appearing under several models (on the same arch), each
@@ -117,6 +159,10 @@ def build_report(
     cache_hits = sum(1 for r in results if r.cached)
     compute_seconds = sum(r.elapsed_seconds for r in results if not r.cached)
     saved_seconds = sum(r.elapsed_seconds for r in results if r.cached)
+    dedup = {
+        counter: sum(int(r.stats.get(counter) or 0) for r in results)
+        for counter in DEDUP_COUNTERS
+    }
     report = {
         "schema_version": REPORT_SCHEMA_VERSION,
         "name": name,
@@ -125,6 +171,8 @@ def build_report(
         "models": sorted({r.model for r in results}),
         "archs": sorted({r.arch.value for r in results}),
         "status_counts": statuses,
+        "truncated_jobs": sum(1 for r in results if r.truncated),
+        "dedup": dedup,
         "ok": statuses.get(STATUS_OK, 0) == len(results),
         "cache": {
             "hits": cache_hits,
@@ -154,9 +202,12 @@ def write_report(report: Mapping, path: Union[str, Path]) -> Path:
 
 
 __all__ = [
+    "DEDUP_COUNTERS",
     "REPORT_SCHEMA_VERSION",
     "build_report",
+    "describe_dedup",
     "find_mismatches",
     "job_entry",
+    "outcome_set_digest",
     "write_report",
 ]

@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # litmus imports harness (runner); keep ours lazy.
     from ..litmus.test import LitmusTest
 from .cache import ResultCache, open_cache
 from .jobs import Job, JobResult
-from .report import build_report, write_report
+from .report import build_report, describe_dedup, write_report
 from .scheduler import BatchStats, run_jobs
 
 DEFAULT_MODELS = ("promising", "axiomatic")
@@ -58,6 +58,13 @@ class SweepResult:
             + (f", {store_failures} store failures" if store_failures else "")
             + ")"
         ]
+        lines.append("  " + describe_dedup(self.report))
+        truncated = self.report.get("truncated_jobs", 0)
+        if truncated:
+            lines.append(
+                f"  WARNING: {truncated} truncated job(s) — outcome sets "
+                "incomplete, verdicts unverified (see per-job 'warning')"
+            )
         for mismatch in self.mismatches:
             lines.append(
                 f"  mismatch: {mismatch['test']} [{mismatch['arch']}] "

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
-from ..lang.ast import If, Seq, Skip, Stmt, seq
+from ..lang.ast import If, Skip, Stmt, seq
 from ..lang.expr import Expr
 
 

@@ -16,8 +16,8 @@ exactly as §A.3 defines them.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from .expr import Expr, ExprLike, Reg, expr_constants, expr_registers, to_expr
 from .kinds import FenceSet, ReadKind, WriteKind

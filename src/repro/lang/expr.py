@@ -146,9 +146,7 @@ def eval_expr(expr: Expr, regs: Mapping[Reg, Value]) -> Value:
     if isinstance(expr, RegE):
         return regs.get(expr.reg, 0)
     if isinstance(expr, BinOp):
-        return OPERATORS[expr.op](
-            eval_expr(expr.left, regs), eval_expr(expr.right, regs)
-        )
+        return OPERATORS[expr.op](eval_expr(expr.left, regs), eval_expr(expr.right, regs))
     raise TypeError(f"not an expression: {expr!r}")
 
 

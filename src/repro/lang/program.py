@@ -10,15 +10,9 @@ used by the explorer's local-location optimisation (§7).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
-from .ast import (
-    Stmt,
-    count_memory_accesses,
-    iter_statements,
-    statement_constants,
-    statement_registers,
-)
+from .ast import Stmt, count_memory_accesses, statement_constants, statement_registers
 from .expr import Value
 
 Loc = int

@@ -15,7 +15,6 @@ through the assembly front ends in :mod:`repro.isa` (see
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
 
 from ..lang import (
     DMB_LD,
@@ -35,7 +34,7 @@ from ..lang import (
     store,
 )
 from .conditions import MemEq, RegEq, cond_and
-from .test import LitmusTest, Verdict, allowed
+from .test import LitmusTest, allowed
 
 
 def _env() -> LocationEnv:
@@ -105,8 +104,7 @@ def mp_family() -> list[LitmusTest]:
     tests.append(
         _test(
             "MP+dmb+addr",
-            [writer(env),
-             seq(load("r1", env["y"]), load("r2", dependency_idiom(env["x"], "r1")))],
+            [writer(env), seq(load("r1", env["y"]), load("r2", dependency_idiom(env["x"], "r1")))],
             cond(env),
             allowed(False),
             env,
@@ -186,8 +184,7 @@ def mp_family() -> list[LitmusTest]:
     tests.append(
         _test(
             "MP+rel+po",
-            [writer(env, rel=True),
-             seq(load("r1", env["y"]), load("r2", env["x"]))],
+            [writer(env, rel=True), seq(load("r1", env["y"]), load("r2", env["x"]))],
             cond(env),
             allowed(True),
             env,
@@ -199,8 +196,7 @@ def mp_family() -> list[LitmusTest]:
     tests.append(
         _test(
             "MP+dmb+acq",
-            [writer(env),
-             seq(load("r1", env["y"], kind=ReadKind.ACQ), load("r2", env["x"]))],
+            [writer(env), seq(load("r1", env["y"], kind=ReadKind.ACQ), load("r2", env["x"]))],
             cond(env),
             allowed(False),
             env,
@@ -212,8 +208,7 @@ def mp_family() -> list[LitmusTest]:
     tests.append(
         _test(
             "MP+dmb+wacq",
-            [writer(env),
-             seq(load("r1", env["y"], kind=ReadKind.WACQ), load("r2", env["x"]))],
+            [writer(env), seq(load("r1", env["y"], kind=ReadKind.WACQ), load("r2", env["x"]))],
             cond(env),
             allowed(False),
             env,
@@ -225,8 +220,7 @@ def mp_family() -> list[LitmusTest]:
     tests.append(
         _test(
             "MP+dmb.ld",
-            [writer(env),
-             seq(load("r1", env["y"]), DMB_LD, load("r2", env["x"]))],
+            [writer(env), seq(load("r1", env["y"]), DMB_LD, load("r2", env["x"]))],
             cond(env),
             allowed(False),
             env,
@@ -528,8 +522,7 @@ def mca_family() -> list[LitmusTest]:
              store(env["y"], 1),
              seq(load("r1", env["x"]), load("r2", dependency_idiom(env["y"], "r1"))),
              seq(load("r3", env["y"]), load("r4", dependency_idiom(env["x"], "r3")))],
-            cond_and(RegEq(2, "r1", 1), RegEq(2, "r2", 0),
-                     RegEq(3, "r3", 1), RegEq(3, "r4", 0)),
+            cond_and(RegEq(2, "r1", 1), RegEq(2, "r2", 0), RegEq(3, "r3", 1), RegEq(3, "r4", 0)),
             allowed(False),
             env,
             "IRIW with address dependencies is forbidden in multicopy-atomic models",
@@ -544,8 +537,7 @@ def mca_family() -> list[LitmusTest]:
              store(env["y"], 1),
              seq(load("r1", env["x"]), load("r2", env["y"])),
              seq(load("r3", env["y"]), load("r4", env["x"]))],
-            cond_and(RegEq(2, "r1", 1), RegEq(2, "r2", 0),
-                     RegEq(3, "r3", 1), RegEq(3, "r4", 0)),
+            cond_and(RegEq(2, "r1", 1), RegEq(2, "r2", 0), RegEq(3, "r3", 1), RegEq(3, "r4", 0)),
             allowed(True),
             env,
             "IRIW without dependencies is allowed",
@@ -566,8 +558,7 @@ def coherence_family() -> list[LitmusTest]:
     tests.append(
         _test(
             "CoRR",
-            [store(env["x"], 1),
-             seq(load("r1", env["x"]), load("r2", env["x"]))],
+            [store(env["x"], 1), seq(load("r1", env["x"]), load("r2", env["x"]))],
             cond_and(RegEq(1, "r1", 1), RegEq(1, "r2", 0)),
             allowed(False),
             env,
@@ -591,8 +582,7 @@ def coherence_family() -> list[LitmusTest]:
     tests.append(
         _test(
             "CoWR",
-            [seq(store(env["x"], 1), load("r1", env["x"])),
-             store(env["x"], 2)],
+            [seq(store(env["x"], 1), load("r1", env["x"])), store(env["x"], 2)],
             RegEq(0, "r1", 0),
             allowed(False),
             env,
@@ -616,8 +606,7 @@ def coherence_family() -> list[LitmusTest]:
     tests.append(
         _test(
             "CoRW2",
-            [seq(load("r1", env["x"]), store(env["x"], 2)),
-             store(env["x"], 1)],
+            [seq(load("r1", env["x"]), store(env["x"], 2)), store(env["x"], 1)],
             cond_and(RegEq(0, "r1", 1), MemEq(env["x"], 1, "x")),
             allowed(False),
             env,
@@ -755,8 +744,7 @@ def exclusives_family() -> list[LitmusTest]:
                      seq(store(env["z"], 1, exclusive=True, succ_reg="r6"),
                          load("r1", env["z"], kind=ReadKind.ACQ),
                          load("r2", dependency_idiom(env["x"], "r1")))))],
-            cond_and(RegEq(1, "r0", 1), RegEq(1, "r6", 0), RegEq(1, "r1", 1),
-                     RegEq(1, "r2", 0)),
+            cond_and(RegEq(1, "r0", 1), RegEq(1, "r6", 0), RegEq(1, "r1", 1), RegEq(1, "r2", 0)),
             allowed(False),
             env,
             "an acquire load may not forward from an exclusive write (ρ13)",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 from ..lang.expr import Reg, Value
 from ..lang.program import Loc, TId
@@ -198,9 +198,7 @@ _TOKEN = re.compile(
 )
 
 
-def parse_condition(
-    text: str, locations: Optional[Mapping[str, Loc]] = None
-) -> Condition:
+def parse_condition(text: str, locations: Optional[Mapping[str, Loc]] = None) -> Condition:
     """Parse the herd-style condition syntax.
 
     ``locations`` maps symbolic location names to addresses; it is required

@@ -211,9 +211,7 @@ class Cycle:
             )
         changes = sum(1 for e in edges if e.loc_change)
         if changes == 1:
-            raise CycleError(
-                f"{self.name}: exactly one location change cannot close the cycle"
-            )
+            raise CycleError(f"{self.name}: exactly one location change cannot close the cycle")
 
     @property
     def n_events(self) -> int:

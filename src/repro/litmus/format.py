@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Optional
 
 from ..lang.kinds import Arch
 from ..lang.program import LocationEnv
@@ -178,7 +177,7 @@ def _normalise_registers_in_condition(condition: Condition, arch: Arch) -> Condi
     """
     from ..isa.armv8 import Armv8ParseError
     from ..isa.riscv import RiscvParseError
-    from .conditions import And, MemEq, Not as NotCond, Or, RegEq, TrueCond
+    from .conditions import And, Not as NotCond, Or, RegEq
 
     def rewrite(cond: Condition) -> Condition:
         if isinstance(cond, RegEq):

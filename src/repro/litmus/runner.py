@@ -37,10 +37,17 @@ class RunResult:
     verdict: Verdict
     expected: Optional[Verdict]
     elapsed_seconds: float
+    #: Explorer diagnostics (states, dedup/cert-memo counters, truncation).
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def truncated(self) -> bool:
+        """True when the exploration hit a budget: verdict unverified."""
+        return bool(self.stats.get("truncated"))
 
     @property
     def matches_expectation(self) -> Optional[bool]:
-        if self.expected is None:
+        if self.expected is None or self.truncated:
             return None
         return self.verdict is self.expected
 
@@ -51,6 +58,7 @@ class RunResult:
         return (
             f"{self.test.name:28s} {self.model:10s} {self.arch.value:7s} "
             f"{self.verdict.value:9s} [{expectation}] {self.elapsed_seconds:.3f}s"
+            f"{' [TRUNCATED]' if self.truncated else ''}"
         )
 
 
@@ -63,6 +71,7 @@ def _run_result(test: LitmusTest, result: JobResult) -> RunResult:
         verdict=result.verdict,
         expected=result.expected,
         elapsed_seconds=result.elapsed_seconds,
+        stats=dict(result.stats),
     )
 
 

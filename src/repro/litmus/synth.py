@@ -328,11 +328,7 @@ def attach_expected(
         expected: dict[Arch, Verdict] = dict(test.expected)
         for offset, arch in enumerate(archs):
             result = results[index * len(archs) + offset]
-            if (
-                result.ok
-                and result.verdict is not None
-                and not result.stats.get("truncated")
-            ):
+            if (result.ok and result.verdict is not None and not result.stats.get("truncated")):
                 expected[arch] = result.verdict
         attached.append(dataclasses.replace(test, expected=expected))
     return attached

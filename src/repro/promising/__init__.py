@@ -13,11 +13,14 @@ from .steps import (
 )
 from .certification import (
     DEFAULT_FUEL,
+    CertificationCache,
     CertificationResult,
     can_complete_without_promising,
     certified,
+    certify_thread,
     find_and_certify,
 )
+from .intern import Interner, InternPool
 from .machine import MachineState, MachineTransition, Thread, machine_transitions, run_deterministic
 from .exhaustive import (
     ExplorationResult,
@@ -47,10 +50,14 @@ __all__ = [
     "sequential_steps",
     "thread_local_steps",
     "DEFAULT_FUEL",
+    "CertificationCache",
     "CertificationResult",
     "can_complete_without_promising",
     "certified",
+    "certify_thread",
     "find_and_certify",
+    "Interner",
+    "InternPool",
     "MachineState",
     "MachineTransition",
     "Thread",

@@ -16,7 +16,7 @@ maximal timestamp.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..lang.ast import Stmt
@@ -38,7 +38,7 @@ DEFAULT_FUEL = 4000
 
 @dataclass(frozen=True)
 class CertificationResult:
-    """Result of :func:`find_and_certify`.
+    """Result of :func:`find_and_certify` / :func:`certify_thread`.
 
     Attributes
     ----------
@@ -52,16 +52,23 @@ class CertificationResult:
         (sound for exploration, possibly missing behaviours).
     visited:
         Number of sequential states visited (for diagnostics/benchmarks).
+    can_complete:
+        Whether the thread can also terminate with *memory fixed* (no new
+        writes), i.e. the :func:`can_complete_without_promising` answer.
+        Populated by :func:`certify_thread`, which derives it from the
+        same sequential graph; ``None`` when the producer did not compute
+        it.
     """
 
     certified: bool
     promises: frozenset[Msg]
     complete: bool
     visited: int
+    can_complete: Optional[bool] = None
 
 
 def _state_key(stmt: Stmt, ts: TState, memory: Memory) -> tuple:
-    return (stmt, ts.key(), memory.key())
+    return (stmt, ts.cache_key(), memory.cache_key())
 
 
 class _SequentialGraph:
@@ -70,58 +77,99 @@ class _SequentialGraph:
     Nodes are thread configurations reachable by sequential steps; edges
     remember the write performed (if any) so promise candidates can be
     harvested afterwards.
+
+    Node identities are hash-consed to dense integer ids: the full
+    configuration key — ``(statement, thread-state snapshot, memory)`` —
+    is a deep tuple whose hash walks every register, view, and message on
+    every set/dict operation, and the reachability passes are pure
+    set/dict churn.  Interning pays that hash once per discovered edge
+    and runs everything downstream on ints, which is where most of the
+    certification profile used to go.
     """
 
     def __init__(self, arch: Arch, tid: TId, fuel: int) -> None:
         self.arch = arch
         self.tid = tid
         self.fuel = fuel
-        self.nodes: dict[tuple, tuple[Stmt, TState, Memory]] = {}
-        self.edges: dict[tuple, list[tuple[tuple, Optional[ThreadStep]]]] = {}
-        self.fulfilled: set[tuple] = set()
+        self._ids: dict[tuple, int] = {}
+        #: Edge lists indexed by node id (parallel list, not a dict).
+        self.edges: list[Optional[list[tuple[int, Optional[ThreadStep]]]]] = []
+        self.fulfilled: set[int] = set()
+        #: Terminated *and* promise-free nodes: the accepting states of
+        #: :func:`can_complete_without_promising`.
+        self.finished: set[int] = set()
         self.complete = True
 
-    def build(self, stmt: Stmt, ts: TState, memory: Memory) -> tuple:
-        root = _state_key(stmt, ts, memory)
+    @property
+    def n_nodes(self) -> int:
+        return len(self._ids)
+
+    def _intern(self, stmt: Stmt, ts: TState, memory: Memory) -> tuple[int, bool]:
+        """Dense id for a configuration, plus whether it is new."""
+        key = _state_key(stmt, ts, memory)
+        nid = self._ids.get(key)
+        if nid is not None:
+            return nid, False
+        nid = len(self._ids)
+        self._ids[key] = nid
+        self.edges.append(None)
+        return nid, True
+
+    def build(self, stmt: Stmt, ts: TState, memory: Memory) -> int:
+        root, _ = self._intern(stmt, ts, memory)
         stack = [(root, stmt, ts, memory)]
-        self.nodes[root] = (stmt, ts, memory)
         while stack:
-            key, stmt, ts, memory = stack.pop()
-            if key in self.edges:
+            nid, stmt, ts, memory = stack.pop()
+            if self.edges[nid] is not None:
                 continue
             if not ts.prom:
-                self.fulfilled.add(key)
-            if len(self.nodes) >= self.fuel:
+                self.fulfilled.add(nid)
+                if is_terminated(stmt):
+                    self.finished.add(nid)
+            if len(self._ids) >= self.fuel:
                 # Truncated: leave this node unexpanded.
-                self.edges[key] = []
+                self.edges[nid] = []
                 self.complete = False
                 continue
-            successors: list[tuple[tuple, Optional[ThreadStep]]] = []
+            successors: list[tuple[int, Optional[ThreadStep]]] = []
             for step in sequential_steps(stmt, ts, memory, self.arch, self.tid):
-                succ_key = _state_key(step.stmt, step.tstate, step.memory)
-                successors.append((succ_key, step if step.kind == "write" else None))
-                if succ_key not in self.nodes:
-                    self.nodes[succ_key] = (step.stmt, step.tstate, step.memory)
-                    stack.append((succ_key, step.stmt, step.tstate, step.memory))
-            self.edges[key] = successors
+                succ, fresh = self._intern(step.stmt, step.tstate, step.memory)
+                successors.append((succ, step if step.kind == "write" else None))
+                if fresh:
+                    stack.append((succ, step.stmt, step.tstate, step.memory))
+            self.edges[nid] = successors
         return root
 
-    def can_reach_fulfilled(self) -> set[tuple]:
-        """Keys of nodes from which a promise-free state is reachable."""
-        # Backward reachability over the explored graph.
-        predecessors: dict[tuple, list[tuple]] = {key: [] for key in self.nodes}
-        for src, succs in self.edges.items():
-            for dst, _step in succs:
-                predecessors.setdefault(dst, []).append(src)
-        good = set(self.fulfilled)
-        worklist = list(self.fulfilled)
+    def _backward_reachable(self, targets: set[int], writes_too: bool) -> set[int]:
+        """Nodes from which some target is reachable (optionally over all
+        edges; otherwise only non-write edges)."""
+        predecessors: list[list[int]] = [[] for _ in range(len(self._ids))]
+        for src, succs in enumerate(self.edges):
+            for dst, step in succs or ():
+                if writes_too or step is None:
+                    predecessors[dst].append(src)
+        good = set(targets)
+        worklist = list(targets)
         while worklist:
             node = worklist.pop()
-            for pred in predecessors.get(node, ()):
+            for pred in predecessors[node]:
                 if pred not in good:
                     good.add(pred)
                     worklist.append(pred)
         return good
+
+    def can_reach_fulfilled(self) -> set[int]:
+        """Ids of nodes from which a promise-free state is reachable."""
+        return self._backward_reachable(self.fulfilled, writes_too=True)
+
+    def can_reach_finished_locally(self) -> set[int]:
+        """Ids of nodes that reach a finished node via non-write edges.
+
+        Write edges append to memory, so a path avoiding them is exactly
+        a :func:`~repro.promising.steps.non_promise_steps` execution —
+        the relation :func:`can_complete_without_promising` searches.
+        """
+        return self._backward_reachable(self.finished, writes_too=False)
 
 
 def certified(
@@ -165,27 +213,140 @@ def find_and_certify(
        coherence view (at its location, before the write) are at most the
        current maximal timestamp is a legal promise.
     """
-    max_ts = memory.last_timestamp
+    return _certify(stmt, ts, memory, arch, tid, fuel, want_can_complete=False)
+
+
+def _certify(
+    stmt: Stmt,
+    ts: TState,
+    memory: Memory,
+    arch: Arch,
+    tid: TId,
+    fuel: int,
+    *,
+    want_can_complete: bool,
+) -> CertificationResult:
+    """Shared body of :func:`find_and_certify` / :func:`certify_thread`.
+
+    ``want_can_complete`` additionally derives the fixed-memory
+    completion answer from the same graph; it is opt-in so the seed-cost
+    path (the ``cert_memo=False`` ablation) does not pay for it.
+    """
+    fast = _certify_fastpath(stmt, ts)
+    if fast is not None:
+        return fast
     graph = _SequentialGraph(arch, tid, fuel)
     root = graph.build(stmt, ts, memory)
     good = graph.can_reach_fulfilled()
+    return CertificationResult(
+        certified=root in good,
+        promises=_harvest_promises(graph, good, memory.last_timestamp, tid),
+        complete=graph.complete,
+        visited=graph.n_nodes,
+        can_complete=(
+            root in graph.can_reach_finished_locally() if want_can_complete else None
+        ),
+    )
+
+
+def _harvest_promises(
+    graph: _SequentialGraph, good: set[int], max_ts: int, tid: TId
+) -> frozenset[Msg]:
+    """Step 3 of §B: writes on certified prefixes whose views fit memory."""
     promises: set[Msg] = set()
-    for src, succs in graph.edges.items():
+    for src, succs in enumerate(graph.edges):
         if src not in good:
             continue
-        for dst, step in succs:
+        for dst, step in succs or ():
             if step is None or dst not in good:
                 continue
             if step.pre_view is None or step.coh_before is None:
                 continue
             if step.pre_view <= max_ts and step.coh_before <= max_ts:
                 promises.add(Msg(step.loc, step.value, tid))
-    return CertificationResult(
-        certified=root in good,
-        promises=frozenset(promises),
-        complete=graph.complete,
-        visited=len(graph.nodes),
-    )
+    return frozenset(promises)
+
+
+def certify_thread(
+    stmt: Stmt,
+    ts: TState,
+    memory: Memory,
+    arch: Arch,
+    tid: TId,
+    fuel: int = DEFAULT_FUEL,
+) -> CertificationResult:
+    """Answer every certification question from ONE sequential-graph build.
+
+    The exhaustive explorer needs three answers per thread configuration:
+    is it certified, which promises may it make next, and can it finish
+    with memory fixed.  The seed implementation built the bounded
+    sequential graph twice per configuration (:func:`find_and_certify`
+    then :func:`can_complete_without_promising`); all three answers are
+    derivable from the same graph, so this entry point builds it once and
+    fills :attr:`CertificationResult.can_complete` alongside the §B
+    promise harvest.
+
+    On fuel truncation ``can_complete`` may be a stricter
+    under-approximation than the dedicated search (the shared graph also
+    spends fuel on write successors); both report ``complete=False`` in
+    that case, which the explorer already surfaces as truncation.
+    """
+    return _certify(stmt, ts, memory, arch, tid, fuel, want_can_complete=True)
+
+
+def _certify_fastpath(stmt: Stmt, ts: TState) -> Optional[CertificationResult]:
+    """Terminated promise-free threads need no graph at all."""
+    if not ts.prom and is_terminated(stmt):
+        return CertificationResult(
+            certified=True,
+            promises=frozenset(),
+            complete=True,
+            visited=1,
+            can_complete=True,
+        )
+    return None
+
+
+class CertificationCache:
+    """Per-exploration memo for :func:`certify_thread`.
+
+    ``find_and_certify`` dominates exploration profiles and is re-invoked
+    with recurring arguments: the promise-first explorer asks both the
+    "which promises" and the "can it finish" question of every thread at
+    every frontier state, and the naive explorer certifies the same
+    thread configuration across all interleavings that only move *other*
+    threads.  The memo key is the full thread configuration — ``(tid,
+    statement, thread-state key, memory key)`` — which is exactly the
+    input the sequential graph depends on (``arch`` and ``fuel`` are
+    fixed per cache, i.e. per exploration run).
+
+    The cache is deliberately per-run, not module-global: a sweep over
+    thousands of litmus jobs must not retain certification graphs across
+    tests.
+    """
+
+    __slots__ = ("arch", "fuel", "_memo", "hits", "calls")
+
+    def __init__(self, arch: Arch, fuel: int = DEFAULT_FUEL) -> None:
+        self.arch = arch
+        self.fuel = fuel
+        self._memo: dict[tuple, CertificationResult] = {}
+        self.hits = 0
+        self.calls = 0
+
+    def certify(self, stmt: Stmt, ts: TState, memory: Memory, tid: TId) -> CertificationResult:
+        self.calls += 1
+        key = (tid, stmt, ts.cache_key(), memory.cache_key())
+        result = self._memo.get(key)
+        if result is not None:
+            self.hits += 1
+            return result
+        result = certify_thread(stmt, ts, memory, self.arch, tid, self.fuel)
+        self._memo[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._memo)
 
 
 def can_complete_without_promising(
@@ -207,7 +368,7 @@ def can_complete_without_promising(
     visited = 0
     while stack:
         cur_stmt, cur_ts = stack.pop()
-        key = (cur_stmt, cur_ts.key())
+        key = (cur_stmt, cur_ts.cache_key())
         if key in seen:
             continue
         seen.add(key)
@@ -223,8 +384,10 @@ def can_complete_without_promising(
 
 __all__ = [
     "DEFAULT_FUEL",
+    "CertificationCache",
     "CertificationResult",
     "certified",
+    "certify_thread",
     "find_and_certify",
     "can_complete_without_promising",
 ]

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..lang.ast import Stmt
 from ..lang.kinds import Arch
@@ -32,12 +32,14 @@ from ..lang import has_loops
 from ..outcomes import Outcome, OutcomeSet
 from .certification import (
     DEFAULT_FUEL,
+    CertificationCache,
     can_complete_without_promising,
     find_and_certify,
 )
+from .intern import InternPool
 from .machine import MachineState, machine_transitions
-from .state import Memory, TState, initial_tstate
-from .steps import is_terminated, non_promise_steps, normalise, promise_step
+from .state import Memory, TState
+from .steps import is_terminated, non_promise_steps, promise_step
 
 
 @dataclass
@@ -58,6 +60,15 @@ class ExploreConfig:
     #: Locations that must be kept in memory even if thread-private
     #: (e.g. locations observed by a litmus final-state condition).
     shared_locations: tuple[Loc, ...] = ()
+    #: Deduplicate structurally identical states (visited sets on the
+    #: promise frontier and the per-thread run-to-completion enumeration,
+    #: plus hash-consed state keys).  Disabling is for the ablation
+    #: benchmark only; the outcome set is identical either way.
+    dedup: bool = True
+    #: Memoise certification (one sequential-graph build answers the
+    #: certified / promises / can-complete questions per configuration).
+    #: Disabling falls back to the seed's separate searches.
+    cert_memo: bool = True
 
     def for_arch(self, arch: Arch) -> "ExploreConfig":
         # ``dataclasses.replace`` rather than a field-by-field copy, so a
@@ -78,6 +89,20 @@ class ExplorationStats:
     truncated: bool = False
     elapsed_seconds: float = 0.0
     localised_locations: tuple[Loc, ...] = ()
+    #: Machine-level visited-set hits (a successor state was already
+    #: explored via a symmetric interleaving).
+    dedup_hits: int = 0
+    #: Seen-set hits inside the per-thread run-to-completion enumeration.
+    thread_dedup_hits: int = 0
+    #: Whole-enumeration reuse: a (thread, memory) completion set was
+    #: recalled instead of recomputed.
+    completion_memo_hits: int = 0
+    #: Certification invocations and how many were answered by the memo.
+    cert_calls: int = 0
+    cert_memo_hits: int = 0
+    #: Hash-consing statistics of the run's intern pool.
+    interned_keys: int = 0
+    intern_hits: int = 0
 
     def describe(self) -> str:
         return (
@@ -85,6 +110,8 @@ class ExplorationStats:
             f"final memories: {self.final_memories}, "
             f"per-thread states: {self.thread_enumeration_states}, "
             f"deadlocks: {self.deadlocked_states}, "
+            f"dedup hits: {self.dedup_hits + self.thread_dedup_hits}, "
+            f"cert memo hits: {self.cert_memo_hits}/{self.cert_calls}, "
             f"truncated: {self.truncated}, "
             f"time: {self.elapsed_seconds:.3f}s"
         )
@@ -130,6 +157,7 @@ def _enumerate_thread_completions(
     tid: TId,
     stats: ExplorationStats,
     max_states: int,
+    pool: Optional[InternPool],
 ) -> set[tuple]:
     """All final register states of one thread under a fixed memory.
 
@@ -137,18 +165,27 @@ def _enumerate_thread_completions(
     independent of the other threads; we enumerate its executions and
     collect the register file of every run that terminates with all
     promises fulfilled.
+
+    With ``pool`` (dedup enabled) symmetric instruction interleavings that
+    reconverge on the same thread state are enumerated once, through
+    hash-consed ``(statement, thread-state)`` keys; without it the search
+    degenerates to the full execution tree (ablation mode).
     """
     results: set[tuple] = set()
     seen: set[tuple] = set()
+    expanded = 0
     stack: list[tuple[Stmt, TState]] = [(stmt, ts)]
     while stack:
         cur_stmt, cur_ts = stack.pop()
-        key = (cur_stmt, cur_ts.key())
-        if key in seen:
-            continue
-        seen.add(key)
+        if pool is not None:
+            key = (cur_stmt, pool.tstates.intern(cur_ts.cache_key()))
+            if key in seen:
+                stats.thread_dedup_hits += 1
+                continue
+            seen.add(key)
+        expanded += 1
         stats.thread_enumeration_states += 1
-        if len(seen) > max_states:
+        if expanded > max_states:
             stats.truncated = True
             break
         if is_terminated(cur_stmt) and not cur_ts.prom:
@@ -171,13 +208,19 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
     initial = MachineState.initial(prepared, arch)
     outcomes = OutcomeSet()
 
+    pool = InternPool() if config.dedup else None
+    cert_cache = (
+        CertificationCache(arch, config.cert_fuel) if config.cert_memo else None
+    )
+
     visited: set[tuple] = set()
     # Memoise per-thread completion enumeration across final-memory states:
     # different promise interleavings frequently reconverge.
     completion_cache: dict[tuple, set[tuple]] = {}
 
     stack: list[MachineState] = [initial]
-    visited.add(initial.key())
+    if pool is not None:
+        visited.add(initial.cache_key(pool))
 
     while stack:
         state = stack.pop()
@@ -187,30 +230,52 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
             break
 
         per_thread = []
+        can_finish = []
         for tid, thread in enumerate(state.threads):
-            cert = find_and_certify(
-                thread.stmt, thread.tstate, state.memory, arch, tid, config.cert_fuel
-            )
+            if cert_cache is not None:
+                # One sequential-graph build (memoised) answers both the
+                # promise enumeration and the can-finish question.
+                cert = cert_cache.certify(thread.stmt, thread.tstate, state.memory, tid)
+                can_finish.append(cert.can_complete)
+            else:
+                stats.cert_calls += 2
+                cert = find_and_certify(
+                    thread.stmt, thread.tstate, state.memory, arch, tid, config.cert_fuel
+                )
+                can_finish.append(
+                    can_complete_without_promising(
+                        thread.stmt, thread.tstate, state.memory, arch, tid, config.cert_fuel
+                    )
+                )
             if not cert.complete:
                 stats.truncated = True
             per_thread.append(cert)
 
         # Can every thread finish under the current memory without any new
         # promise?  If so the current memory is a candidate final memory.
-        can_finish = [
-            can_complete_without_promising(
-                t.stmt, t.tstate, state.memory, arch, tid, config.cert_fuel
-            )
-            for tid, t in enumerate(state.threads)
-        ]
         if all(can_finish):
             stats.final_memories += 1
             thread_results: list[set[tuple]] = []
             feasible = True
             for tid, thread in enumerate(state.threads):
-                cache_key = (tid, thread.key(), state.memory.key())
-                if cache_key not in completion_cache:
-                    completion_cache[cache_key] = _enumerate_thread_completions(
+                if pool is not None:
+                    cache_key = (tid, thread.key(), state.memory.cache_key())
+                    if cache_key in completion_cache:
+                        stats.completion_memo_hits += 1
+                    else:
+                        completion_cache[cache_key] = _enumerate_thread_completions(
+                            thread.stmt,
+                            thread.tstate,
+                            state.memory,
+                            arch,
+                            tid,
+                            stats,
+                            config.max_states,
+                            pool,
+                        )
+                    regs = completion_cache[cache_key]
+                else:
+                    regs = _enumerate_thread_completions(
                         thread.stmt,
                         thread.tstate,
                         state.memory,
@@ -218,8 +283,8 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
                         tid,
                         stats,
                         config.max_states,
+                        None,
                     )
-                regs = completion_cache[cache_key]
                 if not regs:
                     feasible = False
                     break
@@ -238,13 +303,31 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
                 stats.promise_transitions += 1
                 step = promise_step(thread.stmt, thread.tstate, state.memory, msg)
                 succ = state.replace_thread(tid, step)
-                key = succ.key()
-                if key not in visited:
+                if pool is not None:
+                    key = succ.cache_key(pool)
+                    if key in visited:
+                        stats.dedup_hits += 1
+                        continue
                     visited.add(key)
-                    stack.append(succ)
+                stack.append(succ)
 
+    _finalise_stats(stats, pool, cert_cache)
     stats.elapsed_seconds = time.perf_counter() - start
     return ExplorationResult(outcomes, stats, program)
+
+
+def _finalise_stats(
+    stats: ExplorationStats,
+    pool: Optional[InternPool],
+    cert_cache: Optional[CertificationCache],
+) -> None:
+    """Fold the run's intern-pool and cert-memo counters into the stats."""
+    if pool is not None:
+        stats.interned_keys = pool.unique
+        stats.intern_hits = pool.hits
+    if cert_cache is not None:
+        stats.cert_calls += cert_cache.calls
+        stats.cert_memo_hits += cert_cache.hits
 
 
 def _accumulate_outcomes(
@@ -271,9 +354,7 @@ def _accumulate_outcomes(
 # ---------------------------------------------------------------------------
 
 
-def explore_naive(
-    program: Program, config: Optional[ExploreConfig] = None
-) -> ExplorationResult:
+def explore_naive(program: Program, config: Optional[ExploreConfig] = None) -> ExplorationResult:
     """Enumerate outcomes by interleaving *all* certified machine steps.
 
     Exponentially more states than :func:`explore`; used to validate the
@@ -288,7 +369,13 @@ def explore_naive(
 
     initial = MachineState.initial(prepared, config.arch)
     outcomes = OutcomeSet()
-    visited: set[tuple] = {initial.key()}
+    pool = InternPool() if config.dedup else None
+    cert_cache = (
+        CertificationCache(config.arch, config.cert_fuel) if config.cert_memo else None
+    )
+    visited: set[tuple] = set()
+    if pool is not None:
+        visited.add(initial.cache_key(pool))
     stack = [initial]
     while stack:
         state = stack.pop()
@@ -299,16 +386,20 @@ def explore_naive(
         if state.is_final:
             outcomes.add(state.outcome())
             continue
-        transitions = machine_transitions(state, config.cert_fuel)
+        transitions = machine_transitions(state, config.cert_fuel, cert_cache=cert_cache)
         if not transitions and state.has_outstanding_promises:
             stats.deadlocked_states += 1
         for transition in transitions:
             stats.promise_transitions += 1
-            key = transition.state.key()
-            if key not in visited:
+            if pool is not None:
+                key = transition.state.cache_key(pool)
+                if key in visited:
+                    stats.dedup_hits += 1
+                    continue
                 visited.add(key)
-                stack.append(transition.state)
+            stack.append(transition.state)
 
+    _finalise_stats(stats, pool, cert_cache)
     stats.elapsed_seconds = time.perf_counter() - start
     return ExplorationResult(outcomes, stats, program)
 

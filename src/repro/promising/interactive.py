@@ -106,9 +106,7 @@ class InteractiveSession:
         """Take the enabled transition number ``index``."""
         transitions = self.enabled
         if not 0 <= index < len(transitions):
-            raise IndexError(
-                f"transition index {index} out of range (0..{len(transitions) - 1})"
-            )
+            raise IndexError(f"transition index {index} out of range (0..{len(transitions) - 1})")
         transition = transitions[index]
         self._history.append((self.state, TraceEntry(index, transition)))
         self.state = transition.state
@@ -133,9 +131,7 @@ class InteractiveSession:
         for index in indices:
             self.step(index)
 
-    def run_until(
-        self, predicate: Callable[[MachineState], bool], max_steps: int = 10_000
-    ) -> bool:
+    def run_until(self, predicate: Callable[[MachineState], bool], max_steps: int = 10_000) -> bool:
         """Greedily take the first enabled transition until ``predicate`` holds."""
         for _ in range(max_steps):
             if predicate(self.state):

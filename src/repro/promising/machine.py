@@ -14,14 +14,20 @@ instead but produces the same outcomes (Theorem 7.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 from ..lang.ast import Stmt
 from ..lang.kinds import Arch
 from ..lang.program import Program, TId
 from ..outcomes import Outcome
-from .certification import DEFAULT_FUEL, certified, find_and_certify
-from .state import Memory, Msg, TState, initial_tstate
+from .certification import (
+    DEFAULT_FUEL,
+    CertificationCache,
+    certified,
+    find_and_certify,
+)
+from .intern import InternPool
+from .state import Memory, TState, initial_tstate
 from .steps import (
     ThreadStep,
     is_terminated,
@@ -40,7 +46,7 @@ class Thread:
     tstate: TState
 
     def key(self) -> tuple:
-        return (self.stmt, self.tstate.key())
+        return (self.stmt, self.tstate.cache_key())
 
     @property
     def terminated(self) -> bool:
@@ -97,9 +103,25 @@ class MachineState:
         if self._key is None:
             self._key = (
                 tuple(t.key() for t in self.threads),
-                self.memory.key(),
+                self.memory.cache_key(),
             )
         return self._key
+
+    def cache_key(self, pool: Optional[InternPool] = None) -> tuple:
+        """Canonical hashable identity, optionally hash-consed.
+
+        With a pool, the per-thread keys and the whole-state key are
+        interned so equal states across different interleavings share one
+        representative tuple (and the pool's counters record the reuse).
+        """
+        if pool is None:
+            return self.key()
+        if self._key is None:
+            self._key = (
+                tuple(pool.tstates.intern(t.key()) for t in self.threads),
+                pool.memories.intern(self.memory.cache_key()),
+            )
+        return pool.machines.intern(self._key)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, MachineState) and self.key() == other.key()
@@ -139,13 +161,22 @@ class MachineTransition:
 
 
 def machine_transitions(
-    state: MachineState, fuel: int = DEFAULT_FUEL, include_promises: bool = True
+    state: MachineState,
+    fuel: int = DEFAULT_FUEL,
+    include_promises: bool = True,
+    cert_cache: Optional[CertificationCache] = None,
 ) -> list[MachineTransition]:
     """All certified machine transitions from ``state`` (rule machine-step).
 
     Execute steps and normal writes are filtered by the certification
     check; promise steps come from :func:`find_and_certify` and are
     certified by construction (Theorem 6.4).
+
+    With a :class:`CertificationCache`, every certification question goes
+    through the shared memo — successor configurations checked here are
+    typically re-certified when they are explored as states of their own,
+    and thread configurations recur across interleavings that only move
+    *other* threads, so the naive explorer hits the memo constantly.
     """
     transitions: list[MachineTransition] = []
     for tid, thread in enumerate(state.threads):
@@ -153,18 +184,23 @@ def machine_transitions(
             thread.stmt, thread.tstate, state.memory, state.arch, tid
         ) + normal_write_steps(thread.stmt, thread.tstate, state.memory, state.arch, tid)
         for step in candidate_steps:
-            if not certified(step.stmt, step.tstate, step.memory, state.arch, tid, fuel):
+            if cert_cache is not None:
+                ok = cert_cache.certify(step.stmt, step.tstate, step.memory, tid).certified
+            else:
+                ok = certified(step.stmt, step.tstate, step.memory, state.arch, tid, fuel)
+            if not ok:
                 continue
             transitions.append(MachineTransition(tid, step, state.replace_thread(tid, step)))
         if include_promises:
-            result = find_and_certify(
-                thread.stmt, thread.tstate, state.memory, state.arch, tid, fuel
-            )
+            if cert_cache is not None:
+                result = cert_cache.certify(thread.stmt, thread.tstate, state.memory, tid)
+            else:
+                result = find_and_certify(
+                    thread.stmt, thread.tstate, state.memory, state.arch, tid, fuel
+                )
             for msg in sorted(result.promises, key=lambda m: (m.loc, m.val)):
                 step = promise_step(thread.stmt, thread.tstate, state.memory, msg)
-                transitions.append(
-                    MachineTransition(tid, step, state.replace_thread(tid, step))
-                )
+                transitions.append(MachineTransition(tid, step, state.replace_thread(tid, step)))
     return transitions
 
 

@@ -14,7 +14,7 @@ states can be hashed and deduplicated by the explorers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, NamedTuple, Optional, Sequence
+from typing import Mapping, NamedTuple, Optional, Sequence
 
 from ..lang.expr import BinOp, Const, Expr, OPERATORS, RegE, Reg, Value
 from ..lang.program import Loc, TId
@@ -125,6 +125,16 @@ class Memory:
         """Hashable identity (the initial map is constant per program)."""
         return self.messages
 
+    def cache_key(self) -> tuple:
+        """Canonical hashable identity for dedup/memo tables.
+
+        Identical to :meth:`key` (the message tuple; the initial map is a
+        per-program constant so it never discriminates within one
+        exploration), named separately so call sites that feed visited
+        sets, certification memos, and interning tables are greppable.
+        """
+        return self.messages
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Memory)
@@ -184,6 +194,7 @@ class TState:
         "vRel",
         "fwdb",
         "xclb",
+        "_ckey",
     )
 
     def __init__(self) -> None:
@@ -198,6 +209,7 @@ class TState:
         self.vRel: View = 0
         self.fwdb: dict[Loc, Forward] = {}
         self.xclb: Optional[ExclBank] = None
+        self._ckey: Optional[tuple] = None
 
     # -- lookups ----------------------------------------------------------
     def reg(self, name: Reg) -> tuple[Value, View]:
@@ -248,6 +260,7 @@ class TState:
         new.vRel = self.vRel
         new.fwdb = dict(self.fwdb)
         new.xclb = self.xclb
+        new._ckey = None
         return new
 
     def key(self) -> tuple:
@@ -265,6 +278,22 @@ class TState:
             tuple(sorted(self.fwdb.items())),
             self.xclb,
         )
+
+    def cache_key(self) -> tuple:
+        """The :meth:`key` snapshot, computed once and cached.
+
+        Intended for the explorers and certification, which follow the
+        copy-then-update discipline (every mutation happens on a fresh
+        :meth:`copy` before the state is first keyed); ``copy()`` resets
+        the cache on the new instance, and the per-object cache removes
+        the repeated dict sorts from the hot search paths.  Code that
+        mutates a state in place after keying it (tests, ad-hoc setup)
+        must use :meth:`key` / ``==`` instead, which always recompute.
+        """
+        ck = self._ckey
+        if ck is None:
+            ck = self._ckey = self.key()
+        return ck
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, TState) and self.key() == other.key()

@@ -34,7 +34,7 @@ and keeps the explored state space small.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from ..lang.ast import (
@@ -401,9 +401,7 @@ def thread_local_steps(
     raise TypeError(f"cannot step statement head {head!r}")
 
 
-def promise_step(
-    stmt: Stmt, ts: TState, memory: Memory, msg: Msg
-) -> ThreadStep:
+def promise_step(stmt: Stmt, ts: TState, memory: Memory, msg: Msg) -> ThreadStep:
     """The (promise) thread step: append ``msg`` and record the obligation."""
     new_memory, t = memory.append(msg)
     new = ts.copy()

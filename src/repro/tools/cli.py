@@ -37,7 +37,7 @@ from ..litmus import (
 )
 from ..litmus.cycles import FAMILIES_BY_NAME
 from ..litmus.format import parse_litmus
-from ..promising import ExploreConfig, InteractiveSession, explore
+from ..promising import ExploreConfig, InteractiveSession
 
 
 def _arch(name: str) -> Arch:
@@ -52,13 +52,31 @@ def _load_test(args: argparse.Namespace):
     return get_test(args.test), _arch(args.arch)
 
 
+def _explore_config(args: argparse.Namespace) -> ExploreConfig:
+    return ExploreConfig(
+        loop_bound=args.loop_bound,
+        dedup=not getattr(args, "no_dedup", False),
+        cert_memo=not getattr(args, "no_cert_memo", False),
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     test, arch = _load_test(args)
-    result = run_promising(test, arch, ExploreConfig(loop_bound=args.loop_bound))
+    result = run_promising(test, arch, _explore_config(args))
     print(f"test      : {test.name}")
     print(f"model     : promising ({arch})")
     print(f"condition : {test.condition!r}")
-    print(f"verdict   : {result.verdict.value}")
+    verdict = result.verdict.value
+    if result.truncated:
+        verdict += "  (WARNING: exploration truncated, verdict unverified)"
+    print(f"verdict   : {verdict}")
+    if result.stats:
+        counters = ", ".join(
+            f"{k}={result.stats[k]}"
+            for k in ("promise_states", "dedup_hits", "cert_memo_hits", "cert_calls")
+            if k in result.stats
+        )
+        print(f"stats     : {counters}")
     print(f"time      : {result.elapsed_seconds:.3f}s")
     print("final states:")
     print("  " + result.outcomes.describe(test.program.loc_names).replace("\n", "\n  "))
@@ -136,9 +154,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         cache=args.cache_dir,
         report_path=args.report,
-        explore_config=ExploreConfig(loop_bound=args.loop_bound),
+        explore_config=_explore_config(args),
         axiomatic_config=AxiomaticConfig(loop_bound=args.loop_bound),
-        flat_config=FlatConfig(loop_bound=args.loop_bound),
+        flat_config=FlatConfig(loop_bound=args.loop_bound, dedup=not args.no_dedup),
     )
     print(sweep.describe())
     if args.report:
@@ -217,9 +235,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             cache=cache_dir,
             report_path=args.report,
-            explore_config=ExploreConfig(loop_bound=args.loop_bound),
+            explore_config=_explore_config(args),
             axiomatic_config=AxiomaticConfig(loop_bound=args.loop_bound),
-            flat_config=FlatConfig(loop_bound=args.loop_bound),
+            flat_config=FlatConfig(loop_bound=args.loop_bound, dedup=not args.no_dedup),
         )
     print(fuzz.describe())
     if args.report:
@@ -234,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--arch", default="arm", help="arm (default) or riscv")
     parser.add_argument("--loop-bound", type=int, default=2, help="loop unrolling bound")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="disable state deduplication (ablation; slower, same outcomes)")
+    parser.add_argument("--no-cert-memo", action="store_true",
+                        help="disable certification memoisation (ablation)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="exhaustively explore a litmus test")
@@ -254,8 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     agree_parser.add_argument("--max-tests", type=int, default=40)
     agree_parser.add_argument("--workers", type=int, default=1,
                               help="worker processes (0 = one per CPU)")
-    agree_parser.add_argument("--cache-dir", default=None,
-                              help="persistent result cache directory")
+    agree_parser.add_argument("--cache-dir", default=None, help="persistent result cache directory")
     agree_parser.add_argument("--timeout", type=float, default=None,
                               help="per-job timeout in seconds")
     agree_parser.set_defaults(func=cmd_agreement)
@@ -269,8 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="comma-separated: promising,axiomatic,flat,promising-naive")
     sweep_parser.add_argument("--workers", type=int, default=1,
                               help="worker processes (0 = one per CPU)")
-    sweep_parser.add_argument("--cache-dir", default=None,
-                              help="persistent result cache directory")
+    sweep_parser.add_argument("--cache-dir", default=None, help="persistent result cache directory")
     sweep_parser.add_argument("--timeout", type=float, default=None,
                               help="per-job timeout in seconds")
     sweep_parser.add_argument("--report", default=None,
@@ -296,12 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="comma-separated architectures (default arm,riscv)")
     fuzz_parser.add_argument("--workers", type=int, default=1,
                              help="worker processes (0 = one per CPU)")
-    fuzz_parser.add_argument("--cache-dir", default=None,
-                             help="persistent result cache directory")
+    fuzz_parser.add_argument("--cache-dir", default=None, help="persistent result cache directory")
     fuzz_parser.add_argument("--timeout", type=float, default=None,
                              help="per-job timeout in seconds")
-    fuzz_parser.add_argument("--report", default=None,
-                             help="write a JSON fuzz report to this path")
+    fuzz_parser.add_argument("--report", default=None, help="write a JSON fuzz report to this path")
     fuzz_parser.add_argument("--expected", action="store_true",
                              help="attach axiomatic-oracle expected verdicts to the corpus")
     fuzz_parser.set_defaults(func=cmd_fuzz)

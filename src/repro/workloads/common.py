@@ -18,8 +18,8 @@ module provides the pieces they share:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from ..lang import (
     Expr,
@@ -35,7 +35,6 @@ from ..lang import (
     load,
     seq,
     store,
-    while_,
 )
 from ..outcomes import Outcome, OutcomeSet
 

@@ -27,7 +27,6 @@ from ..lang import (
     LocationEnv,
     R,
     ReadKind,
-    WriteKind,
     assign,
     if_,
     load,
@@ -49,7 +48,6 @@ def _enqueue(env, node, value, tag, *, release_link, retries):
     rtail = f"rtail{tag}"
     rnext = f"rtnext{tag}"
     ok = f"renq{tag}"
-    link_kind = WriteKind.REL if release_link else WriteKind.PLN
     return seq(
         # initialise the node
         store(node["data"], value),
@@ -136,8 +134,7 @@ def ms_queue(
             if op in ("e", "enq"):
                 node = pool.alloc()
                 body.append(
-                    _enqueue(env, node, next_value, tag,
-                             release_link=release_link, retries=retries)
+                    _enqueue(env, node, next_value, tag, release_link=release_link, retries=retries)
                 )
                 enqueued.append(next_value)
                 next_value += 1

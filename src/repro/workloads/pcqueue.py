@@ -86,8 +86,7 @@ def _consume_mpmc(env, tag, *, buffer_base, retries=1):
             R(rr).lt(R(rw)),
             seq(
                 load(val, buffer_base + R(rr) * SLOT_STRIDE),
-                ll_sc_cas(ridx, R(rr), R(rr) + 1,
-                          old_reg=f"rro{tag}", ok_reg=got, retries=retries),
+                ll_sc_cas(ridx, R(rr), R(rr) + 1, old_reg=f"rro{tag}", ok_reg=got, retries=retries),
             ),
         ),
     )

@@ -21,7 +21,6 @@ from __future__ import annotations
 from ..isa import ThreadSource, assemble_program, assembly_line_count
 from ..lang import (
     LocationEnv,
-    Program,
     R,
     ReadKind,
     WriteKind,

@@ -15,9 +15,7 @@ from __future__ import annotations
 
 from ..lang import (
     LocationEnv,
-    Program,
     R,
-    ReadKind,
     WriteKind,
     assign,
     if_,
@@ -38,9 +36,7 @@ def ticket_thread(env: LocationEnv, acquisitions: int, spins: int = 3, retries: 
         ticket = f"rticket{i}"
         seen = f"rowner{i}"
         body.append(fetch_add(env["next"], 1, old_reg=ticket, retries=retries))
-        body.append(
-            spin_until_equals(env["owner"], R(ticket), reg=seen, acquire=True, spins=spins)
-        )
+        body.append(spin_until_equals(env["owner"], R(ticket), reg=seen, acquire=True, spins=spins))
         critical = seq(
             load("rtmp", env["counter"]),
             store(env["counter"], R("rtmp") + 1),
@@ -48,9 +44,7 @@ def ticket_thread(env: LocationEnv, acquisitions: int, spins: int = 3, retries: 
             store(env["owner"], R(ticket) + 1, kind=WriteKind.REL),
         )
         # Enter only if the ticket was obtained and the owner reached it.
-        body.append(
-            if_(R(f"{ticket}_ok").eq(1) & R(seen).eq(R(ticket)), critical)
-        )
+        body.append(if_(R(f"{ticket}_ok").eq(1) & R(seen).eq(R(ticket)), critical))
     body.append(done_marker())
     return seq(*body)
 

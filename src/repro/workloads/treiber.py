@@ -28,7 +28,6 @@ from ..lang import (
     LocationEnv,
     R,
     ReadKind,
-    WriteKind,
     assign,
     if_,
     load,
@@ -168,9 +167,7 @@ def treiber_from_spec(spec: str, *, name_prefix: str = "STC", release_push: bool
             raise ValueError(f"malformed thread spec {group!r}")
         a, b, c = (int(ch) for ch in group)
         ops.append("p" * a + "o" * b + "p" * c)
-    return treiber_stack(
-        tuple(ops), name=f"{name_prefix}-{spec}", release_push=release_push
-    )
+    return treiber_stack(tuple(ops), name=f"{name_prefix}-{spec}", release_push=release_push)
 
 
 __all__ = ["treiber_stack", "treiber_from_spec"]

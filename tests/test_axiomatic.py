@@ -9,7 +9,7 @@ from repro.axiomatic import (
     enumerate_preexecutions,
     infer_value_domains,
 )
-from repro.axiomatic.events import Event, init_write
+from repro.axiomatic.events import init_write
 from repro.axiomatic.relations import cross, identity_on
 from repro.lang import (
     DMB_SY,

@@ -17,17 +17,14 @@ from repro.litmus.cycles import (
     CycleError,
     Edge,
     FAMILIES,
-    Family,
     Fre,
     LINKS_RR,
     LINKS_RW,
     LINKS_WW,
     Linkage,
-    PLAIN_PO,
     READ,
     Rfe,
     Rfi,
-    Slot,
     WRITE,
     get_family,
     links_for,
@@ -111,9 +108,7 @@ class TestCycleValidation:
 
 class TestSynthesis:
     def test_mp_shape(self):
-        test = synthesize(
-            Cycle("MP+po+po", (po(WRITE, WRITE), Rfe, po(READ, READ), Fre))
-        )
+        test = synthesize(Cycle("MP+po+po", (po(WRITE, WRITE), Rfe, po(READ, READ), Fre)))
         assert test.program.n_threads == 2
         assert repr(test.condition) == "1:r1=1 /\\ 1:r2=0"
 
@@ -138,15 +133,11 @@ class TestSynthesis:
     def test_coherence_order_and_final_memory(self):
         # 2+2W: both locations have two writes; the condition pins the
         # coherence-final value of each.
-        test = synthesize(
-            Cycle("2+2W", (po(WRITE, WRITE), Coe, po(WRITE, WRITE), Coe))
-        )
+        test = synthesize(Cycle("2+2W", (po(WRITE, WRITE), Coe, po(WRITE, WRITE), Coe)))
         assert repr(test.condition) == "x=2 /\\ y=2"
 
     def test_internal_rf_reads_forwarded_value(self):
-        test = synthesize(
-            Cycle("SB-RFI", (Rfi, po(READ, READ), Fre, Rfi, po(READ, READ), Fre))
-        )
+        test = synthesize(Cycle("SB-RFI", (Rfi, po(READ, READ), Fre, Rfi, po(READ, READ), Fre)))
         # Both rfi reads must see their own thread's write, both fre reads
         # the coherence predecessor (the initial value).
         assert repr(test.condition) == "0:r1=1 /\\ 0:r2=0 /\\ 1:r3=1 /\\ 1:r4=0"

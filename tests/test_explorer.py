@@ -2,16 +2,7 @@
 
 import pytest
 
-from repro.lang import (
-    DMB_SY,
-    LocationEnv,
-    R,
-    load,
-    make_program,
-    seq,
-    store,
-    while_,
-)
+from repro.lang import LocationEnv, R, load, make_program, seq, store, while_
 from repro.lang.kinds import Arch
 from repro.litmus import get_test, run_promising
 from repro.promising import (
@@ -183,7 +174,5 @@ class TestInteractive:
 
     def test_find_witness_returns_none_for_forbidden_outcome(self):
         test = get_test("MP+dmbs")
-        witness = find_witness(
-            test.program, test.condition.holds, Arch.ARM
-        )
+        witness = find_witness(test.program, test.condition.holds, Arch.ARM)
         assert witness is None

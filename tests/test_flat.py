@@ -5,7 +5,7 @@ import pytest
 from repro.flat import FlatConfig, explore_flat
 from repro.lang import LocationEnv, R, if_, load, make_program, seq, store
 from repro.lang.kinds import Arch
-from repro.litmus import get_test, run_flat, run_promising
+from repro.litmus import get_test, run_flat
 from repro.tools import compare_models
 
 #: Shapes on which the approximate Flat-style model must agree with the
@@ -28,8 +28,7 @@ def test_flat_matches_architectural_verdict(name):
 def test_flat_outcomes_contained_in_promising(name):
     """The baseline under-approximates at worst; it must not invent outcomes."""
     test = get_test(name)
-    comparison = compare_models(test.program, Arch.ARM, include_flat=True,
-                                include_axiomatic=False)
+    comparison = compare_models(test.program, Arch.ARM, include_flat=True, include_axiomatic=False)
     assert comparison.flat_subset_of_promising
 
 

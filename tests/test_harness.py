@@ -12,7 +12,6 @@ import pytest
 
 from repro.harness import (
     Job,
-    JobResult,
     REPORT_SCHEMA_VERSION,
     ResultCache,
     STATUS_ERROR,
@@ -162,9 +161,7 @@ class TestScheduler:
 
         base = get_test("MP")
         twin = LitmusTest("MP-twin", base.program, base.condition, base.expected)
-        results = run_jobs(
-            [Job(test=base, model="promising"), Job(test=twin, model="promising")]
-        )
+        results = run_jobs([Job(test=base, model="promising"), Job(test=twin, model="promising")])
         assert calls == ["MP"]  # the content-identical twin was not re-run
         assert [r.name for r in results] == ["MP", "MP-twin"]
         assert set(results[0].outcomes) == set(results[1].outcomes)
@@ -316,14 +313,14 @@ class TestCache:
 
 REPORT_KEYS = {
     "schema_version", "name", "generated_unix", "n_jobs", "models", "archs",
-    "status_counts", "ok", "cache", "compute_seconds", "wall_seconds",
-    "mismatches", "jobs",
+    "status_counts", "truncated_jobs", "dedup", "ok", "cache",
+    "compute_seconds", "wall_seconds", "mismatches", "jobs",
 }
 
 JOB_ENTRY_KEYS = {
     "name", "model", "arch", "status", "verdict", "expected",
-    "matches_expectation", "n_outcomes", "elapsed_seconds", "cached",
-    "error", "fingerprint", "stats",
+    "matches_expectation", "n_outcomes", "outcome_digest", "elapsed_seconds",
+    "cached", "truncated", "warning", "error", "fingerprint", "stats",
 }
 
 
@@ -381,6 +378,57 @@ class TestReport:
         assert results[1].stats["truncated"] is True
         assert set(results[0].outcomes) != set(results[1].outcomes)
         assert find_mismatches(jobs, results) == []
+
+    def test_truncated_result_carries_a_warning_and_unverified_verdict(self):
+        # A max_states hit must not masquerade as a verified verdict: the
+        # result is flagged, the expectation check abstains, and both the
+        # per-job row and the report-level count carry the warning.
+        test = get_test("MP")
+        job = Job(test=test, model="promising", explore_config=ExploreConfig(max_states=1))
+        result = execute_job(job)
+        assert result.ok and result.truncated
+        assert result.warning and "truncated" in result.warning
+        assert result.matches_expectation is None
+        assert "[TRUNCATED]" in result.describe()
+        report = build_report([job], [result])
+        assert report["truncated_jobs"] == 1
+        entry = report["jobs"][0]
+        assert entry["truncated"] is True and entry["warning"]
+        # An untruncated run of the same test stays clean.
+        clean = execute_job(Job(test=test, model="promising"))
+        assert not clean.truncated and clean.warning is None
+        assert clean.matches_expectation is True
+
+    def test_truncation_warning_reaches_sweep_describe(self):
+        sweep = run_sweep(
+            [get_test("MP")], ("promising",), Arch.ARM,
+            explore_config=ExploreConfig(max_states=1),
+        )
+        assert sweep.report["truncated_jobs"] == 1
+        assert "WARNING" in sweep.describe() and "truncated" in sweep.describe()
+
+    def test_dedup_counters_are_aggregated_into_reports(self):
+        jobs = [Job(test=t, model=m) for t in battery(2) for m in ("promising", "flat")]
+        results = run_jobs(jobs)
+        report = build_report(jobs, results)
+        dedup = report["dedup"]
+        assert dedup["cert_calls"] > 0
+        assert dedup["dedup_hits"] >= 0 and dedup["interned_keys"] > 0
+        # And the human rendering mentions the counters.
+        from repro.harness import describe_dedup
+
+        text = describe_dedup(report)
+        assert "cert memo" in text and "interning" in text
+
+    def test_outcome_digest_tracks_outcome_sets(self):
+        from repro.harness import outcome_set_digest
+
+        a = execute_job(Job(test=get_test("MP"), model="promising"))
+        b = execute_job(Job(test=get_test("MP"), model="axiomatic"))
+        c = execute_job(Job(test=get_test("SB"), model="promising"))
+        assert outcome_set_digest(a.outcomes) == outcome_set_digest(b.outcomes)
+        assert outcome_set_digest(a.outcomes) != outcome_set_digest(c.outcomes)
+        assert outcome_set_digest(None) is None
 
     def test_distinct_tests_sharing_a_name_are_not_cross_compared(self):
         # The generated battery and the hand-written catalogue both contain

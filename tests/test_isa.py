@@ -7,7 +7,6 @@ from repro.isa import (
     RiscvParseError,
     StructurisationError,
     ThreadSource,
-    assemble_program,
     assemble_thread,
     assembly_line_count,
     structurise,

@@ -6,15 +6,12 @@ from repro.lang import (
     DMB_LD,
     DMB_SY,
     FenceSet,
-    If,
-    Load,
     LocationEnv,
     R,
     ReadKind,
     Seq,
     Skip,
     Store,
-    While,
     WriteKind,
     assign,
     count_memory_accesses,
@@ -163,9 +160,7 @@ class TestTransforms:
 class TestProgram:
     def test_program_queries(self):
         env = LocationEnv()
-        program = make_program(
-            [seq(load("r1", env["x"]), store(env["y"], 5))], env=env, name="t"
-        )
+        program = make_program([seq(load("r1", env["x"]), store(env["y"], 5))], env=env, name="t")
         assert program.n_threads == 1
         assert program.registers() == {"r1"}
         assert 5 in program.constants()

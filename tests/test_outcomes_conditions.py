@@ -6,7 +6,6 @@ from repro.litmus.conditions import (
     And,
     MemEq,
     Not,
-    Or,
     RegEq,
     TrueCond,
     cond_and,

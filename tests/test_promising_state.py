@@ -9,7 +9,6 @@ from repro.promising.state import (
     FWD_INIT,
     Memory,
     Msg,
-    TState,
     initial_tstate,
     vmax,
 )

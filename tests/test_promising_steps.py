@@ -1,6 +1,5 @@
 """Unit tests for the thread-local step rules of Fig. 5 / §A.3."""
 
-import pytest
 
 from repro.lang import (
     DMB_LD,

@@ -7,7 +7,6 @@ properties pin down invariants of memory, views, statement normalisation
 and the condition parser.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.axiomatic import enumerate_axiomatic_outcomes, AxiomaticConfig
@@ -82,9 +81,7 @@ def test_promising_agrees_with_axiomatic_on_random_programs(program, arch):
     # Keep the projected locations shared so the local-location optimisation
     # cannot hide them from the final memory (the litmus runner does the same
     # for locations observed by a test's condition).
-    promising = explore(
-        program, ExploreConfig(arch=arch, shared_locations=tuple(LOCATIONS))
-    )
+    promising = explore(program, ExploreConfig(arch=arch, shared_locations=tuple(LOCATIONS)))
     axiomatic = enumerate_axiomatic_outcomes(program, AxiomaticConfig(arch=arch))
     assert _projected(program, promising.outcomes) == _projected(program, axiomatic.outcomes)
 
@@ -92,8 +89,7 @@ def test_promising_agrees_with_axiomatic_on_random_programs(program, arch):
 @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(program=small_programs())
 def test_localisation_never_changes_projected_outcomes(program):
-    with_opt = explore(program, ExploreConfig(localise=True,
-                                              shared_locations=tuple(LOCATIONS)))
+    with_opt = explore(program, ExploreConfig(localise=True, shared_locations=tuple(LOCATIONS)))
     without = explore(program, ExploreConfig(localise=False))
     assert _projected(program, with_opt.outcomes) == _projected(program, without.outcomes)
 

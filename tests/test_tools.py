@@ -1,6 +1,5 @@
 """Tests for the comparison utilities and the command-line interface."""
 
-import pytest
 
 from repro.lang.kinds import Arch
 from repro.litmus import get_test

@@ -35,8 +35,7 @@ def outcomes_of(workload, loop_bound=2):
 
 class TestBuilders:
     def test_family_registry_is_complete(self):
-        assert set(FAMILIES) == {"SLA", "SLC", "SLR", "PCS", "PCM", "TL",
-                                 "STC", "STR", "DQ", "QU"}
+        assert set(FAMILIES) == {"SLA", "SLC", "SLR", "PCS", "PCM", "TL", "STC", "STR", "DQ", "QU"}
         for family in FAMILIES.values():
             workload = family.builder()
             assert workload.program.n_threads >= 1
