@@ -15,8 +15,15 @@
 # and writes BENCH_fuzz.json: corpus size, per-model timings, mismatch
 # count, and the cache hit rate.
 #
+# The service stage then benchmarks the long-lived serving layer
+# (scripts/bench_service.py): cold single-shot CLI runs vs warm
+# LRU-served requests through a real `promising-arm serve` process, plus
+# a concurrent-identical-request burst proving coalescing; it writes
+# BENCH_service.json.
+#
 # Knobs: SWEEP_TESTS (battery size), SWEEP_WORKERS, SWEEP_MODELS,
-#        FUZZ_PER_FAMILY (fuzz corpus bound per cycle family), FUZZ_MODELS.
+#        FUZZ_PER_FAMILY (fuzz corpus bound per cycle family), FUZZ_MODELS,
+#        SERVICE_REQUESTS (warm served requests in the service stage).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,6 +80,9 @@ print(f"counterexamples: {fuzz['counterexample_count']}  "
       f"store failures: {report['cache']['store_failures']}")
 EOF
 echo "report written to BENCH_fuzz.json"
+
+echo "== service benchmark (cold CLI vs warm served; writes BENCH_service.json) =="
+python scripts/bench_service.py --warm-requests "${SERVICE_REQUESTS:-200}"
 
 echo "== dedup ablation (writes BENCH_dedup.json) =="
 python -m pytest -q benchmarks/test_dedup_speedup.py

@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""Benchmark the exploration service; writes ``BENCH_service.json``.
+
+Three measurements, in one real served deployment (the service runs as a
+separate ``promising-arm serve`` process, reached over HTTP exactly as a
+client would):
+
+* **cold CLI** — single-shot ``python -m repro.tools run`` subprocesses,
+  paying interpreter start-up, imports, and cold caches per request;
+  this is the baseline the service exists to beat;
+* **warm service** — the same tests served from the process-resident
+  LRU: per-request latency (p50/p95) and sequential throughput;
+* **coalescing** — a burst of identical concurrent requests for a fresh
+  fingerprint, proving (via the service's own counters) that one
+  computation served the whole burst.
+
+The PR acceptance bar — warm served latency at least 10x below cold CLI
+latency, and a non-zero coalesced counter — is what
+``scripts/check_bench_regression.py`` re-validates against the committed
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+#: Catalogue tests measured cold and warm (small, fast, representative).
+BENCH_TESTS = ("MP+dmb+addr", "SB+dmbs", "LB+datas")
+
+#: Test reserved for the coalescing burst (kept out of the warm set).
+COALESCE_TEST = "IRIW+pos"
+
+SCHEMA_VERSION = 1
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cold-runs", type=int, default=2, help="cold CLI runs per test")
+    parser.add_argument("--warm-requests", type=int, default=200, help="warm served requests")
+    parser.add_argument("--burst", type=int, default=8, help="concurrent identical requests")
+    parser.add_argument("--workers", type=int, default=2, help="service worker processes")
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_service.json"), help="report path"
+    )
+    return parser.parse_args(argv)
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def measure_cold_cli(runs: int) -> dict:
+    """Wall time of one-shot CLI explorations (full process start-up)."""
+    per_test: dict[str, list[float]] = {}
+    for test in BENCH_TESTS:
+        for _ in range(runs):
+            start = time.perf_counter()
+            subprocess.run(
+                [sys.executable, "-m", "repro.tools", "run", "--test", test],
+                check=True,
+                env=child_env(),
+                stdout=subprocess.DEVNULL,
+                cwd=REPO_ROOT,
+            )
+            per_test.setdefault(test, []).append(time.perf_counter() - start)
+    samples = [s for times in per_test.values() for s in times]
+    return {
+        "runs": len(samples),
+        "per_test_seconds": {t: sum(v) / len(v) for t, v in per_test.items()},
+        "mean_seconds": sum(samples) / len(samples),
+    }
+
+
+def start_service(workers: int, cache_dir: str) -> tuple[subprocess.Popen, ServiceClient]:
+    """Launch ``promising-arm serve`` on an ephemeral port; parse the port."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.tools",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            str(workers),
+            "--cache-dir",
+            cache_dir,
+            "--batch-delay-ms",
+            "5",
+        ],
+        env=child_env(),
+        stdout=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    if not match:
+        process.kill()
+        raise RuntimeError(f"could not parse service address from {line!r}")
+    client = ServiceClient(match.group(1), int(match.group(2)))
+    client.wait_until_ready(60)
+    return process, client
+
+
+def measure_warm_service(client: ServiceClient, requests: int) -> dict:
+    """Latency/throughput of LRU-served requests (after one warm-up lap)."""
+    for test in BENCH_TESTS:
+        client.explore(test=test, models=["promising"])
+    latencies = []
+    start = time.perf_counter()
+    for index in range(requests):
+        test = BENCH_TESTS[index % len(BENCH_TESTS)]
+        t0 = time.perf_counter()
+        response = client.explore(test=test, models=["promising"])
+        latencies.append(time.perf_counter() - t0)
+        assert response["ok"], f"warm request failed: {response}"
+    total = time.perf_counter() - start
+    latencies.sort()
+    return {
+        "requests": requests,
+        "mean_seconds": sum(latencies) / len(latencies),
+        "p50_seconds": latencies[len(latencies) // 2],
+        "p95_seconds": latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))],
+        "throughput_rps": requests / total,
+    }
+
+
+def measure_coalescing(client: ServiceClient, burst: int) -> dict:
+    """Fire identical concurrent requests; read the coalesced counter."""
+    before = client.stats()["served"]
+    barrier = threading.Barrier(burst)
+    failures = []
+
+    def fire():
+        barrier.wait()
+        try:
+            response = client.explore(test=COALESCE_TEST, models=["promising"])
+            assert response["ok"]
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=fire) for _ in range(burst)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise RuntimeError(f"coalescing burst failed: {failures[0]}")
+    after = client.stats()["served"]
+    return {
+        "concurrent_requests": burst,
+        "coalesced": after["coalesced"] - before["coalesced"],
+        "computed": after["computed"] - before["computed"],
+        "lru": after["lru"] - before["lru"],
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    print(f"== cold CLI baseline ({args.cold_runs} runs x {len(BENCH_TESTS)} tests) ==")
+    cold = measure_cold_cli(args.cold_runs)
+    print(f"cold mean: {cold['mean_seconds'] * 1000:.0f} ms/request")
+
+    with tempfile.TemporaryDirectory(prefix="promising-service-bench-") as cache_dir:
+        print(f"== warm service ({args.warm_requests} served requests) ==")
+        process, client = start_service(args.workers, cache_dir)
+        try:
+            warm = measure_warm_service(client, args.warm_requests)
+            print(
+                f"warm p50: {warm['p50_seconds'] * 1000:.2f} ms  "
+                f"p95: {warm['p95_seconds'] * 1000:.2f} ms  "
+                f"throughput: {warm['throughput_rps']:.0f} req/s"
+            )
+            print(f"== coalescing burst ({args.burst} concurrent identical requests) ==")
+            coalescing = measure_coalescing(client, args.burst)
+            print(
+                f"computed: {coalescing['computed']}  coalesced: {coalescing['coalesced']}"
+            )
+            stats = client.stats()
+        finally:
+            client.shutdown()
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+    speedup = cold["mean_seconds"] / warm["p50_seconds"]
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "name": "service-bench",
+        "generated_unix": time.time(),
+        "tests": list(BENCH_TESTS),
+        "coalesce_test": COALESCE_TEST,
+        "workers": args.workers,
+        "cold_cli": cold,
+        "warm_service": warm,
+        "speedup_cold_vs_warm_p50": speedup,
+        "coalescing": coalescing,
+        "service_stats": stats,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"cold {cold['mean_seconds'] * 1000:.0f} ms -> warm "
+        f"{warm['p50_seconds'] * 1000:.2f} ms = {speedup:.0f}x; "
+        f"report written to {output}"
+    )
+    if speedup < 10:
+        print("WARNING: warm speedup below the 10x acceptance bar")
+        return 1
+    if coalescing["coalesced"] < 1:
+        print("WARNING: coalescing burst did not coalesce any request")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

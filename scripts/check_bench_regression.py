@@ -16,6 +16,13 @@ by default), then compares the fresh results job-by-job:
   ``--slowdown`` (default 2.0) times the baseline's, ignoring families
   under the noise floor.
 
+* **Service artifact** — the committed ``BENCH_service.json`` must parse
+  against the service-bench schema, record a warm-vs-cold speedup of at
+  least ``--min-service-speedup`` (default 10), and a coalescing burst
+  that actually coalesced.  This validates the committed artifact's
+  shape and recorded claims; regenerating the numbers is
+  ``scripts/bench_service.py``'s job.
+
 Exit status: 0 clean, 1 regression found, 2 usage/baseline problems.
 
 Run it locally after touching an explorer::
@@ -80,7 +87,87 @@ def parse_args(argv: list[str] | None) -> argparse.Namespace:
         default=None,
         help="optionally write the fresh sweep report to this path",
     )
+    parser.add_argument(
+        "--service-baseline",
+        default=str(REPO_ROOT / "BENCH_service.json"),
+        help="tracked service-bench report to schema-validate",
+    )
+    parser.add_argument(
+        "--min-service-speedup",
+        type=float,
+        default=10.0,
+        help="lowest acceptable recorded warm-vs-cold service speedup",
+    )
+    parser.add_argument(
+        "--skip-service",
+        action="store_true",
+        help="skip BENCH_service.json validation entirely",
+    )
     return parser.parse_args(argv)
+
+
+#: ``BENCH_service.json`` required layout: top-level key -> required
+#: sub-keys (None = scalar leaf).  Kept in lockstep with
+#: ``scripts/bench_service.py``.
+SERVICE_SCHEMA = {
+    "schema_version": None,
+    "name": None,
+    "generated_unix": None,
+    "tests": None,
+    "workers": None,
+    "cold_cli": ("runs", "per_test_seconds", "mean_seconds"),
+    "warm_service": (
+        "requests",
+        "mean_seconds",
+        "p50_seconds",
+        "p95_seconds",
+        "throughput_rps",
+    ),
+    "speedup_cold_vs_warm_p50": None,
+    "coalescing": ("concurrent_requests", "coalesced", "computed"),
+    "service_stats": None,
+}
+
+
+def validate_service_report(path: Path, min_speedup: float) -> list[str]:
+    """Schema + recorded-claims validation of ``BENCH_service.json``."""
+    failures: list[str] = []
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"service baseline {path} unreadable: {exc}"]
+    if not isinstance(report, dict):
+        return [f"service baseline {path} is not a JSON object"]
+    for key, subkeys in SERVICE_SCHEMA.items():
+        if key not in report:
+            failures.append(f"service baseline missing key {key!r}")
+            continue
+        if subkeys is None:
+            continue
+        block = report[key]
+        if not isinstance(block, dict):
+            failures.append(f"service baseline {key!r} must be an object")
+            continue
+        for subkey in subkeys:
+            if subkey not in block:
+                failures.append(f"service baseline missing {key}.{subkey}")
+    if failures:
+        return failures
+    speedup = report["speedup_cold_vs_warm_p50"]
+    if not isinstance(speedup, (int, float)) or speedup < min_speedup:
+        failures.append(
+            f"service warm speedup {speedup!r} below the {min_speedup:.0f}x bar"
+        )
+    coalesced = report["coalescing"]["coalesced"]
+    if not isinstance(coalesced, int) or coalesced < 1:
+        failures.append(
+            f"service coalescing burst recorded no coalesced requests ({coalesced!r})"
+        )
+    for field in ("p50_seconds", "p95_seconds", "throughput_rps"):
+        value = report["warm_service"][field]
+        if not isinstance(value, (int, float)) or value <= 0:
+            failures.append(f"service warm_service.{field} must be a positive number")
+    return failures
 
 
 def family(name: str) -> str:
@@ -127,6 +214,24 @@ def main(argv: list[str] | None = None) -> int:
     }
 
     failures: list[str] = []
+
+    # -- service artifact --------------------------------------------------
+    if not args.skip_service:
+        service_path = Path(args.service_baseline)
+        if service_path.exists():
+            service_failures = validate_service_report(
+                service_path, args.min_service_speedup
+            )
+            failures.extend(service_failures)
+            print(
+                f"service  : {service_path} "
+                f"({'OK' if not service_failures else f'{len(service_failures)} problem(s)'})"
+            )
+        else:
+            # The artifact is committed; its absence is itself a
+            # regression (--skip-service is the explicit opt-out).
+            failures.append(f"service baseline not found: {service_path}")
+            print(f"service  : {service_path} MISSING")
 
     # -- semantic comparison ----------------------------------------------
     compared = 0

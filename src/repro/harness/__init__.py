@@ -29,8 +29,8 @@ from .jobs import (
     result_to_json,
     timeouts_enforceable,
 )
-from .cache import ResultCache, open_cache
-from .scheduler import BatchStats, default_workers, run_jobs
+from .cache import LruResultCache, ResultCache, open_cache
+from .scheduler import BatchStats, WorkerPool, default_workers, run_jobs
 from .report import (
     DEDUP_COUNTERS,
     REPORT_SCHEMA_VERSION,
@@ -64,9 +64,11 @@ __all__ = [
     "result_from_json",
     "result_to_json",
     "timeouts_enforceable",
+    "LruResultCache",
     "ResultCache",
     "open_cache",
     "BatchStats",
+    "WorkerPool",
     "default_workers",
     "run_jobs",
     "DEDUP_COUNTERS",

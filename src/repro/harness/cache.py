@@ -14,11 +14,14 @@ overwritten on the next store.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
+from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
 
+from ..outcomes import OutcomeSet
 from .jobs import Job, JobResult, STATUS_OK, result_from_json, result_to_json
 
 
@@ -113,6 +116,86 @@ class ResultCache:
         return self.hits / seen if seen else 0.0
 
 
+class LruResultCache:
+    """Process-resident LRU cache of job results, keyed by fingerprint.
+
+    This is the hot layer the exploration service puts in front of the
+    persistent :class:`ResultCache`: a bounded in-memory map whose hits
+    cost a dict lookup instead of a file read + JSON parse.  Entries are
+    evicted least-recently-used once ``capacity`` is exceeded (a ``get``
+    refreshes recency); only ``ok`` results are admitted, mirroring the
+    disk cache's policy that errors and timeouts are not reusable.
+
+    Like :meth:`ResultCache.get`, a recalled result is rebound to the
+    *incoming* job's annotations (name, expected verdict), which live
+    outside the fingerprint.  The returned object is a fresh copy, so
+    callers may mutate it without corrupting the cached entry.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, JobResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, job: Job) -> Optional[JobResult]:
+        """Recall the result of ``job``, or ``None`` on a miss."""
+        fingerprint = job.fingerprint()
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return dataclasses.replace(
+            entry,
+            name=job.test.name,
+            expected=job.test.expected_verdict(job.arch),
+            outcomes=None if entry.outcomes is None else OutcomeSet(entry.outcomes),
+            stats=dict(entry.stats),
+            cached=True,
+        )
+
+    def put(self, job: Job, result: JobResult) -> bool:
+        """Admit an ``ok`` result, evicting the least-recently-used entry
+        beyond capacity; returns whether the result was stored."""
+        if result.status != STATUS_OK:
+            return False
+        fingerprint = result.fingerprint or job.fingerprint()
+        # Defensive copy, including the mutable outcome set: callers
+        # routinely rebind name/expected (and could grow outcomes) on the
+        # objects they hold, and that must not reach the cached entry.
+        self._entries[fingerprint] = dataclasses.replace(
+            result,
+            outcomes=None if result.outcomes is None else OutcomeSet(result.outcomes),
+            stats=dict(result.stats),
+        )
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def clear(self) -> int:
+        removed = len(self._entries)
+        self._entries.clear()
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.hits + self.misses
+        return self.hits / seen if seen else 0.0
+
+
 def open_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCache]:
     """Coerce a ``--cache-dir``-style argument into a :class:`ResultCache`."""
     if cache is None or isinstance(cache, ResultCache):
@@ -120,4 +203,4 @@ def open_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCac
     return ResultCache(cache)
 
 
-__all__ = ["ResultCache", "open_cache"]
+__all__ = ["LruResultCache", "ResultCache", "open_cache"]

@@ -54,6 +54,104 @@ def _invoke_indexed(payload: tuple[int, Job, Optional[float]]) -> tuple[int, Job
     return index, execute_job(job, timeout=timeout)
 
 
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # ``fork`` keeps job dispatch cheap, but only Linux treats it as safe;
+    # elsewhere (macOS objc fork-safety, Windows) use the platform default
+    # (jobs are fully picklable for spawn).
+    use_fork = sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if use_fork else None)
+
+
+class WorkerPool:
+    """A resident multiprocessing pool that stays warm across batches.
+
+    ``run_jobs`` spins a pool up and down per call, which is the right
+    trade for one big sweep but pays process start-up, imports, and cold
+    interner pools on every invocation.  A :class:`WorkerPool` is created
+    once (by the exploration service, or by any long-lived driver) and
+    fed micro-batches: workers persist between :meth:`run` calls, so all
+    of that warm-up amortises across the whole lifetime of the pool.
+
+    Per-job deadlines fire on each worker's main thread via ``SIGALRM``
+    exactly as in the one-shot scheduler path.
+    """
+
+    def __init__(self, workers: int = 0) -> None:
+        self.workers = workers if workers > 0 else default_workers()
+        self._pool = _pool_context().Pool(processes=self.workers)
+        self._closed = False
+        #: Batches dispatched and jobs executed over the pool's lifetime.
+        self.batches = 0
+        self.jobs_executed = 0
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        timeout: Union[None, float, Sequence[Optional[float]]] = None,
+        *,
+        on_result=None,
+    ) -> list[JobResult]:
+        """Execute one batch, returning results in submission order.
+
+        ``timeout`` is either one deadline for every job or a per-job
+        sequence.  ``on_result(index, result)`` (optional) is called the
+        moment each job finishes — out of submission order — so callers
+        can persist results while slower jobs are still running.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if not jobs:
+            return []
+        if timeout is None or isinstance(timeout, (int, float)):
+            timeouts: list[Optional[float]] = [timeout] * len(jobs)
+        else:
+            if len(timeout) != len(jobs):
+                raise ValueError("per-job timeout sequence must match the job count")
+            timeouts = list(timeout)
+        if any(t is not None for t in timeouts) and not hasattr(signal, "SIGALRM"):
+            warnings.warn(
+                "per-job timeouts need SIGALRM, which this platform lacks; "
+                "jobs will run unbounded",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        results: list[Optional[JobResult]] = [None] * len(jobs)
+        payloads = [(index, job, timeouts[index]) for index, job in enumerate(jobs)]
+        for index, result in self._pool.imap_unordered(_invoke_indexed, payloads):
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result)
+        self.batches += 1
+        self.jobs_executed += len(jobs)
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Graceful shutdown: wait for submitted work, then reap workers
+        (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.close()
+            self._pool.join()
+
+    def terminate(self) -> None:
+        """Immediate shutdown: kill workers without draining queued work
+        (idempotent).  This is what an interrupted sweep wants — matching
+        ``multiprocessing.Pool``'s own context-manager semantics."""
+        if not self._closed:
+            self._closed = True
+            self._pool.terminate()
+            self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Mirror ``with ctx.Pool(...)``: terminate, don't drain — a
+        # KeyboardInterrupt mid-sweep must stop the workers now, not
+        # after every queued job has run to completion.
+        self.terminate()
+
+
 def run_jobs(
     jobs: Sequence[Job],
     *,
@@ -121,33 +219,22 @@ def run_jobs(
                 if cache is not None:
                     cache.put(jobs[index], results[index])
         else:
-            # Pool execution: deadlines fire on each worker's main thread,
-            # so only the platform-wide absence of SIGALRM disables them.
-            if timeout is not None and not hasattr(signal, "SIGALRM"):
-                warnings.warn(
-                    "per-job timeouts need SIGALRM, which this platform "
-                    "lacks; jobs will run unbounded",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-            # ``fork`` keeps job dispatch cheap, but only Linux treats it
-            # as safe; elsewhere (macOS objc fork-safety, Windows) use the
-            # platform default (jobs are fully picklable for spawn).
-            use_fork = (
-                sys.platform == "linux"
-                and "fork" in multiprocessing.get_all_start_methods()
-            )
-            ctx = multiprocessing.get_context("fork" if use_fork else None)
-            with ctx.Pool(processes=min(workers, len(pending))) as pool:
-                payloads = [(index, jobs[index], timeout) for index in pending]
-                # Unordered streaming: each result is persisted the moment
-                # its worker finishes, so an interrupted sweep keeps
-                # everything already computed even while an early slow job
-                # is still running; `results[index]` restores job order.
-                for index, result in pool.imap_unordered(_invoke_indexed, payloads):
-                    results[index] = result
-                    if cache is not None:
-                        cache.put(jobs[index], result)
+            # Pool execution: deadlines fire on each worker's main thread
+            # (WorkerPool warns if SIGALRM is missing platform-wide).
+            pending_jobs = [jobs[index] for index in pending]
+
+            # Unordered streaming: each result is persisted the moment its
+            # worker finishes, so an interrupted sweep keeps everything
+            # already computed even while an early slow job is still
+            # running; `results[index]` restores job order.
+            def _store(batch_index: int, result: JobResult) -> None:
+                index = pending[batch_index]
+                results[index] = result
+                if cache is not None:
+                    cache.put(jobs[index], result)
+
+            with WorkerPool(min(workers, len(pending))) as pool:
+                pool.run(pending_jobs, timeout, on_result=_store)
 
     for index, source in duplicate_of.items():
         # Same fingerprint → same computed outcome; only the per-job
@@ -168,4 +255,4 @@ def run_jobs(
     return results  # type: ignore[return-value]
 
 
-__all__ = ["BatchStats", "default_workers", "run_jobs"]
+__all__ = ["BatchStats", "WorkerPool", "default_workers", "run_jobs"]

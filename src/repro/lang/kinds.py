@@ -31,6 +31,24 @@ class Arch(enum.Enum):
         return self.value
 
 
+#: Accepted spellings of each architecture, shared by every user-facing
+#: surface (CLI flags, litmus headers, service requests) so the alias
+#: sets cannot drift apart.
+ARCH_ALIASES = {
+    "arm": Arch.ARM,
+    "aarch64": Arch.ARM,
+    "armv8": Arch.ARM,
+    "riscv": Arch.RISCV,
+    "risc-v": Arch.RISCV,
+    "rv64": Arch.RISCV,
+}
+
+
+def parse_arch(name: str) -> "Arch | None":
+    """Resolve an architecture spelling, or ``None`` if unrecognised."""
+    return ARCH_ALIASES.get(name.strip().lower())
+
+
 class ReadKind(enum.IntEnum):
     """Read kinds: plain ⊑ weak-acquire ⊑ acquire.
 

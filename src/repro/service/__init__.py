@@ -1,0 +1,37 @@
+"""Long-lived exploration service (the ``promising-arm serve`` layer).
+
+Every CLI invocation pays interpreter start-up, imports, and cold caches
+before the first transition fires — fatal under many small requests.
+This package keeps all of that resident: an asyncio HTTP/JSON front-end
+(:mod:`~repro.service.http`) feeds a batching engine
+(:mod:`~repro.service.core`) that answers from a process-resident LRU
+over the persistent result cache, coalesces identical in-flight
+requests, and dispatches cold micro-batches to a warm
+:class:`~repro.harness.scheduler.WorkerPool`.
+:mod:`~repro.service.client` is the matching blocking client.
+"""
+
+from .core import (
+    ExplorationService,
+    NormalizedRequest,
+    ServiceConfig,
+    ServiceError,
+    ServiceStats,
+    percentile,
+)
+from .http import MAX_BODY_BYTES, ServiceServer, run_server
+from .client import ServiceClient, ServiceClientError
+
+__all__ = [
+    "ExplorationService",
+    "NormalizedRequest",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceStats",
+    "percentile",
+    "MAX_BODY_BYTES",
+    "ServiceServer",
+    "run_server",
+    "ServiceClient",
+    "ServiceClientError",
+]

@@ -1,0 +1,107 @@
+"""Blocking HTTP client for the exploration service.
+
+Used by the test suite, the CI service-smoke job, and
+``scripts/bench_service.py``.  Pure stdlib (``http.client``), one
+connection per request — matching the server's ``Connection: close``
+policy — so it is safe to call from multiple threads at once (the
+benchmark's burst mode does exactly that).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Optional, Sequence, Union
+
+
+class ServiceClientError(Exception):
+    """A request the service rejected (carries the HTTP status)."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a running ``promising-arm serve`` instance."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 120.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {} if body is None else {"Content-Type": "application/json"}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read().decode() or "null")
+            if response.status >= 400:
+                error = (data or {}).get("error", f"HTTP {response.status}")
+                raise ServiceClientError(error, status=response.status)
+            return data
+        finally:
+            connection.close()
+
+    def wait_until_ready(self, deadline: float = 30.0, interval: float = 0.05) -> dict:
+        """Poll ``/healthz`` until the service answers (or raise)."""
+        end = time.monotonic() + deadline
+        last_error: Optional[Exception] = None
+        while time.monotonic() < end:
+            try:
+                health = self.healthz()
+                if health.get("status") == "ok":
+                    return health
+            except (ConnectionError, socket.error, ServiceClientError) as exc:
+                last_error = exc
+            time.sleep(interval)
+        raise TimeoutError(
+            f"service at {self.host}:{self.port} not ready after {deadline}s: {last_error}"
+        )
+
+    # -- endpoints -----------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def explore(
+        self,
+        *,
+        test: Optional[str] = None,
+        source: Optional[str] = None,
+        arch: Optional[str] = None,
+        models: Union[str, Sequence[str], None] = None,
+        options: Optional[dict] = None,
+    ) -> dict:
+        """Run one litmus test; mirrors the ``POST /explore`` body."""
+        payload: dict = {}
+        if test is not None:
+            payload["test"] = test
+        if source is not None:
+            payload["source"] = source
+        if arch is not None:
+            payload["arch"] = arch
+        if models is not None:
+            payload["models"] = list(models) if not isinstance(models, str) else models
+        if options is not None:
+            payload["options"] = options
+        return self._request("POST", "/explore", payload)
+
+    def shutdown(self) -> dict:
+        """Ask the service to stop; tolerates the connection dropping."""
+        try:
+            return self._request("POST", "/shutdown")
+        except (ConnectionError, socket.error, http.client.HTTPException):
+            return {"ok": True, "stopping": True}
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

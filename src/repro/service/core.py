@@ -1,0 +1,590 @@
+"""The exploration service engine: normalize → cache → coalesce → batch.
+
+This is the transport-agnostic core of the long-lived serving layer.  A
+request (a JSON-shaped dict) names a litmus test — either inline litmus
+``source`` or a catalogue ``test`` — plus the models to run it under and
+bounded options.  The engine normalizes it into :class:`~repro.harness.jobs.Job`
+objects (so every request shares the sweep harness's single execution
+path and content fingerprints), then answers each job from the cheapest
+layer that can:
+
+1. the process-resident :class:`~repro.harness.cache.LruResultCache`
+   (a dict lookup);
+2. the persistent on-disk :class:`~repro.harness.cache.ResultCache`
+   (shared with CLI sweeps; hits are promoted into the LRU);
+3. an identical in-flight computation (**coalescing**: concurrent
+   requests with the same fingerprint share one execution);
+4. a micro-batch dispatched to a resident
+   :class:`~repro.harness.scheduler.WorkerPool`, whose workers stay warm
+   across requests so imports and interner pools amortize.
+
+Per-job deadlines and truncation warnings flow through the standard
+:class:`~repro.harness.jobs.JobResult` schema: a budget-capped
+exploration is served with ``"truncated": true`` and its warning string,
+never as a silently verified verdict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..axiomatic.model import AxiomaticConfig
+from ..flat.explorer import FlatConfig
+from ..harness.cache import LruResultCache, open_cache
+from ..harness.jobs import MODELS, Job, JobResult, execute_job, result_to_json
+from ..harness.report import job_entry
+from ..harness.scheduler import WorkerPool
+from ..lang.kinds import ARCH_ALIASES, Arch, parse_arch
+from ..promising.exhaustive import ExploreConfig
+
+
+class ServiceError(Exception):
+    """A client-visible request failure (maps to an HTTP status)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`ExplorationService` instance."""
+
+    #: Resident worker processes.  ``<= 1`` runs jobs inline on an
+    #: executor thread (no pool, no enforceable per-job deadline) — the
+    #: lightweight mode used by unit tests and tiny deployments.
+    workers: int = 2
+    #: Cold jobs are gathered for up to this long (seconds) or until
+    #: ``batch_max_size`` of them are waiting, then dispatched together.
+    batch_max_delay: float = 0.01
+    batch_max_size: int = 16
+    #: Micro-batches allowed to execute concurrently (``0`` = one per
+    #: worker).  More than one prevents head-of-line blocking: a fast
+    #: request arriving behind a slow batch runs on an idle worker
+    #: instead of waiting the slow batch out.
+    max_concurrent_batches: int = 0
+    #: Capacity of the process-resident LRU result layer.
+    lru_capacity: int = 4096
+    #: Directory of the persistent result cache (``None`` = LRU only).
+    cache_dir: Optional[str] = None
+    #: Per-job deadline applied when a request does not name one.
+    default_timeout: Optional[float] = 60.0
+    #: Hard ceiling on any requested per-job deadline.
+    max_timeout: float = 600.0
+    #: Hard ceiling on any requested loop-unrolling bound.
+    loop_bound_limit: int = 4
+    #: Hard ceiling on any requested ``max_states`` budget.
+    max_states_limit: int = 5_000_000
+    #: Largest accepted litmus source, in bytes.
+    max_source_bytes: int = 65_536
+    #: Most jobs (models) a single request may expand into.
+    max_jobs_per_request: int = 8
+    #: Latencies kept for the /stats percentiles (ring buffer).
+    latency_window: int = 4096
+
+
+@dataclass
+class ServiceStats:
+    """Counters surfaced by ``/stats`` (and asserted by the tests)."""
+
+    started_unix: float = field(default_factory=time.time)
+    requests: int = 0
+    bad_requests: int = 0
+    jobs: int = 0
+    lru_hits: int = 0
+    disk_hits: int = 0
+    coalesced: int = 0
+    computed: int = 0
+    batches: int = 0
+    batched_jobs: int = 0
+    max_batch_size: int = 0
+    latencies: deque = field(default_factory=deque)
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_jobs += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    def record_latency(self, seconds: float, window: int) -> None:
+        self.latencies.append(seconds)
+        while len(self.latencies) > window:
+            self.latencies.popleft()
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """The ``q``-quantile (0..1) of ``values`` by nearest-rank."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+@dataclass
+class NormalizedRequest:
+    """A validated request: jobs plus the options that shaped them."""
+
+    name: str
+    arch: Arch
+    models: tuple[str, ...]
+    jobs: list[Job]
+    timeout: Optional[float]
+    include_outcomes: bool
+
+
+class ExplorationService:
+    """The long-lived engine behind ``promising-arm serve``.
+
+    Lifecycle: :meth:`start` (from a running event loop), then any number
+    of concurrent :meth:`handle_explore` calls, then :meth:`stop`.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self.lru = LruResultCache(self.config.lru_capacity)
+        self.disk = open_cache(self.config.cache_dir)
+        self._pool: Optional[WorkerPool] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: deque = deque()
+        self._queue_event = asyncio.Event()
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._batch_slots: Optional[asyncio.Semaphore] = None
+        self._batch_tasks: set = set()
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        if self.config.workers > 1:
+            self._pool = WorkerPool(self.config.workers)
+        slots = self.config.max_concurrent_batches or max(1, self.config.workers)
+        self._batch_slots = asyncio.Semaphore(slots)
+        self._running = True
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        self._running = False
+        self._queue_event.set()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._dispatcher = None
+        for task in list(self._batch_tasks):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._batch_tasks.clear()
+        # Fail every pending future — queued ones *and* those whose batch
+        # is still executing (the cancelled dispatcher will never resolve
+        # them) — so no coalesced or computing waiter hangs forever.
+        for fut in self._inflight.values():
+            if not fut.done():
+                fut.set_exception(ServiceError("service stopping", status=503))
+        self._queue.clear()
+        self._inflight.clear()
+        if self._pool is not None:
+            pool = self._pool
+            self._pool = None
+            await asyncio.get_running_loop().run_in_executor(None, pool.close)
+
+    # -- request validation --------------------------------------------------
+    def normalize(self, payload: object) -> NormalizedRequest:
+        """Validate a request dict and expand it into harness jobs.
+
+        Raises :class:`ServiceError` (a 400) on anything malformed; the
+        limits in :class:`ServiceConfig` bound every knob a client can
+        turn, so one request can never wedge the service.
+        """
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        source = payload.get("source")
+        test_name = payload.get("test")
+        if (source is None) == (test_name is None):
+            raise ServiceError("exactly one of 'source' or 'test' is required")
+
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            raise ServiceError("'options' must be an object")
+        loop_bound = options.get("loop_bound", 2)
+        if not isinstance(loop_bound, int) or not 1 <= loop_bound <= self.config.loop_bound_limit:
+            raise ServiceError(f"'loop_bound' must be an int in 1..{self.config.loop_bound_limit}")
+        timeout = options.get("timeout", self.config.default_timeout)
+        if timeout is not None:
+            if (
+                not isinstance(timeout, (int, float))
+                or timeout <= 0
+                or timeout > self.config.max_timeout
+            ):
+                raise ServiceError(
+                    f"'timeout' must be a number of seconds in (0, {self.config.max_timeout}]"
+                )
+            timeout = float(timeout)
+        include_outcomes = options.get("include_outcomes", True)
+        if not isinstance(include_outcomes, bool):
+            raise ServiceError("'include_outcomes' must be a boolean")
+        max_states = options.get("max_states")
+        if max_states is not None and (
+            not isinstance(max_states, int) or not 1 <= max_states <= self.config.max_states_limit
+        ):
+            raise ServiceError(f"'max_states' must be an int in 1..{self.config.max_states_limit}")
+
+        models = payload.get("models", ["promising"])
+        if isinstance(models, str):
+            models = [m.strip() for m in models.split(",") if m.strip()]
+        if not isinstance(models, list) or not models:
+            raise ServiceError("'models' must be a non-empty list of model names")
+        unknown = [m for m in models if m not in MODELS]
+        if unknown:
+            raise ServiceError(
+                f"unknown model(s) {', '.join(map(repr, unknown))}; "
+                f"choose from {', '.join(MODELS)}"
+            )
+        models = tuple(dict.fromkeys(models))
+        if len(models) > self.config.max_jobs_per_request:
+            raise ServiceError(
+                f"a request may expand into at most {self.config.max_jobs_per_request} jobs"
+            )
+
+        arch_name = payload.get("arch")
+        if arch_name is not None:
+            arch = parse_arch(arch_name) if isinstance(arch_name, str) else None
+            if arch is None:
+                raise ServiceError(
+                    f"unknown arch {arch_name!r}; choose from {', '.join(sorted(ARCH_ALIASES))}"
+                )
+        else:
+            arch = None
+
+        if source is not None:
+            if not isinstance(source, str):
+                raise ServiceError("'source' must be a litmus-format string")
+            if len(source.encode()) > self.config.max_source_bytes:
+                raise ServiceError(
+                    f"'source' exceeds {self.config.max_source_bytes} bytes", status=413
+                )
+            from ..litmus.format import parse_litmus
+
+            try:
+                parsed = parse_litmus(source, unroll_bound=loop_bound)
+            except Exception as exc:
+                raise ServiceError(f"unparseable litmus source: {exc}") from exc
+            test = parsed.test
+            if arch is None:
+                arch = parsed.arch
+        else:
+            if not isinstance(test_name, str):
+                raise ServiceError("'test' must be a catalogue test name")
+            from ..litmus import get_test
+
+            try:
+                test = get_test(test_name)
+            except (KeyError, ValueError) as exc:
+                raise ServiceError(f"unknown catalogue test {test_name!r}") from exc
+            if arch is None:
+                arch = Arch.ARM
+
+        explore_config = ExploreConfig(loop_bound=loop_bound)
+        flat_config = FlatConfig(loop_bound=loop_bound)
+        if max_states is not None:
+            explore_config = ExploreConfig(loop_bound=loop_bound, max_states=max_states)
+            flat_config = FlatConfig(loop_bound=loop_bound, max_states=max_states)
+        jobs = [
+            Job(
+                test=test,
+                model=model,
+                arch=arch,
+                explore_config=explore_config,
+                axiomatic_config=AxiomaticConfig(loop_bound=loop_bound),
+                flat_config=flat_config,
+            )
+            for model in models
+        ]
+        return NormalizedRequest(
+            name=test.name,
+            arch=arch,
+            models=models,
+            jobs=jobs,
+            timeout=timeout,
+            include_outcomes=include_outcomes,
+        )
+
+    # -- request handling ----------------------------------------------------
+    async def handle_explore(self, payload: object) -> tuple[int, dict]:
+        """The full request path; returns ``(http_status, response_dict)``."""
+        start = time.perf_counter()
+        try:
+            request = self.normalize(payload)
+        except ServiceError as exc:
+            self.stats.bad_requests += 1
+            return exc.status, {"ok": False, "error": str(exc)}
+        self.stats.requests += 1
+        self.stats.jobs += len(request.jobs)
+        try:
+            resolved = await asyncio.gather(
+                *(self._resolve(job, request.timeout) for job in request.jobs)
+            )
+        except ServiceError as exc:
+            return exc.status, {"ok": False, "error": str(exc)}
+        rows = []
+        for job, (result, served_from) in zip(request.jobs, resolved):
+            row = job_entry(result)
+            row["served_from"] = served_from
+            if request.include_outcomes:
+                row["outcomes"] = result_to_json(result)["outcomes"]
+            rows.append(row)
+        elapsed = time.perf_counter() - start
+        self.stats.record_latency(elapsed, self.config.latency_window)
+        response = {
+            "ok": all(result.ok for result, _ in resolved),
+            "test": request.name,
+            "arch": request.arch.value,
+            "models": list(request.models),
+            "elapsed_seconds": elapsed,
+            "results": rows,
+        }
+        return 200, response
+
+    async def _resolve(self, job: Job, timeout: Optional[float]) -> tuple[JobResult, str]:
+        """Serve one job from the cheapest layer that can answer it."""
+        hit = self.lru.get(job)
+        if hit is not None:
+            self.stats.lru_hits += 1
+            return hit, "lru"
+        if self.disk is not None:
+            # File read + JSON parse happen off the event loop so a slow
+            # cache volume can never stall every other connection.  The
+            # in-flight check below runs *after* this await, so identical
+            # concurrent misses still coalesce onto one computation.
+            hit = await self._loop.run_in_executor(None, self.disk.get, job)
+            if hit is not None:
+                self.lru.put(job, hit)
+                self.stats.disk_hits += 1
+                return hit, "disk"
+        fingerprint = job.fingerprint()
+        inflight = self._inflight.get(fingerprint)
+        if inflight is not None:
+            # Coalescing: an identical computation is already running (or
+            # queued); share its result instead of executing twice.
+            self.stats.coalesced += 1
+            result, _label = await asyncio.shield(inflight)
+            return self._rebind(result, job), "coalesced"
+        if not self._running:
+            raise ServiceError("service stopping", status=503)
+        future = self._loop.create_future()
+        self._inflight[fingerprint] = future
+        self._queue.append((job, timeout, future))
+        self._queue_event.set()
+        # The dispatcher resolves the future with (result, label): label
+        # is "computed" normally, or "lru" for a duplicate that slipped
+        # past the in-flight check and was answered at dispatch time.
+        result, label = await future
+        if label == "computed":
+            self.stats.computed += 1
+        else:
+            self.stats.lru_hits += 1
+        return result, label
+
+    @staticmethod
+    def _rebind(result: JobResult, job: Job) -> JobResult:
+        """A coalesced waiter's copy, carrying its own job's annotations."""
+        return dataclasses.replace(
+            result,
+            name=job.test.name,
+            expected=job.test.expected_verdict(job.arch),
+            stats=dict(result.stats),
+        )
+
+    # -- batching ------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        """Gather cold jobs into micro-batches and run them on the pool.
+
+        Up to ``max_concurrent_batches`` batches execute at once (one per
+        worker by default), so a fast request arriving behind a slow
+        batch is dispatched to an idle worker instead of waiting the slow
+        batch out; within that limit, jobs queueing while every slot is
+        busy accumulate into larger batches, which keeps dispatch
+        overhead amortised under load while an idle service dispatches a
+        lone request after at most ``batch_max_delay``.
+        """
+        while self._running:
+            await self._queue_event.wait()
+            if not self._running:
+                return
+            if not self._queue:
+                self._queue_event.clear()
+                continue
+            if self.config.batch_max_delay > 0 and len(self._queue) < self.config.batch_max_size:
+                await asyncio.sleep(self.config.batch_max_delay)
+            batch = []
+            while self._queue and len(batch) < self.config.batch_max_size:
+                batch.append(self._queue.popleft())
+            if not self._queue:
+                self._queue_event.clear()
+            # A duplicate can slip past _resolve's in-flight check when
+            # its disk probe overlaps the original's completion; anything
+            # already in the LRU by dispatch time is served from it
+            # instead of being executed again.  The membership probe
+            # avoids charging the LRU a second miss for genuinely cold
+            # jobs (``_resolve`` already recorded one).
+            still_cold = []
+            for entry in batch:
+                job, _timeout, future = entry
+                if job.fingerprint() in self.lru:
+                    hit = self.lru.get(job)
+                    self._inflight.pop(job.fingerprint(), None)
+                    if not future.done():
+                        future.set_result((hit, "lru"))
+                else:
+                    still_cold.append(entry)
+            if not still_cold:
+                continue
+            self.stats.record_batch(len(still_cold))
+            await self._batch_slots.acquire()
+            if not self._running:
+                self._batch_slots.release()
+                return
+            task = asyncio.ensure_future(self._run_batch(still_cold))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: list) -> None:
+        """Execute one micro-batch on the pool and resolve its futures."""
+        jobs = [job for job, _, _ in batch]
+        timeouts = [timeout for _, timeout, _ in batch]
+        try:
+            results = await self._loop.run_in_executor(
+                None, self._execute_batch, jobs, timeouts
+            )
+        except Exception as exc:  # pool breakage: fail this batch, keep serving
+            for job, _, future in batch:
+                self._inflight.pop(job.fingerprint(), None)
+                if not future.done():
+                    future.set_exception(
+                        ServiceError(f"batch execution failed: {exc}", status=500)
+                    )
+            return
+        finally:
+            self._batch_slots.release()
+        for (job, _, future), result in zip(batch, results):
+            self._inflight.pop(job.fingerprint(), None)
+            self.lru.put(job, result)
+            if not future.done():
+                future.set_result((result, "computed"))
+
+    def _execute_batch(
+        self, jobs: list[Job], timeouts: list[Optional[float]]
+    ) -> list[JobResult]:
+        """Run one micro-batch (called on an executor thread).
+
+        With a resident pool the batch fans out across warm workers and
+        per-job ``SIGALRM`` deadlines are enforced on their main threads.
+        Inline mode (``workers <= 1``) executes serially on this thread,
+        where deadlines are best-effort only (no ``SIGALRM`` off the main
+        thread) — acceptable for tests and single-user deployments.
+
+        Disk persistence also happens here, on this thread, streamed as
+        each result lands: it never blocks the event loop, and there is
+        no cancellation point between computing a result and persisting
+        it, so a service stopping right after answering has already
+        written its cache entries.
+        """
+        if self._pool is not None:
+
+            def persist(index: int, result: JobResult) -> None:
+                self.disk.put(jobs[index], result)
+
+            return self._pool.run(
+                jobs, timeouts, on_result=persist if self.disk is not None else None
+            )
+        results = []
+        for job, timeout in zip(jobs, timeouts):
+            result = execute_job(job, timeout=timeout)
+            if self.disk is not None:
+                self.disk.put(job, result)
+            results.append(result)
+        return results
+
+    # -- introspection -------------------------------------------------------
+    def healthz(self) -> dict:
+        return {
+            "status": "ok" if self._running else "stopping",
+            "uptime_seconds": time.time() - self.stats.started_unix,
+            "workers": self.config.workers,
+            "pool": "resident" if self._pool is not None else "inline",
+        }
+
+    def stats_snapshot(self) -> dict:
+        """The ``/stats`` payload: cache hit rates, batching, latency."""
+        stats = self.stats
+        latencies = list(stats.latencies)
+        served_without_execution = stats.lru_hits + stats.disk_hits + stats.coalesced
+        return {
+            "uptime_seconds": time.time() - stats.started_unix,
+            "requests": stats.requests,
+            "bad_requests": stats.bad_requests,
+            "jobs": stats.jobs,
+            "served": {
+                "lru": stats.lru_hits,
+                "disk": stats.disk_hits,
+                "coalesced": stats.coalesced,
+                "computed": stats.computed,
+            },
+            "cache_hit_rate": served_without_execution / stats.jobs if stats.jobs else 0.0,
+            "lru": {
+                "size": len(self.lru),
+                "capacity": self.lru.capacity,
+                "hits": self.lru.hits,
+                "misses": self.lru.misses,
+                "evictions": self.lru.evictions,
+                "hit_rate": self.lru.hit_rate,
+            },
+            "disk_cache": (
+                None
+                if self.disk is None
+                else {
+                    "path": str(self.disk.path),
+                    "hits": self.disk.hits,
+                    "misses": self.disk.misses,
+                    "store_failures": self.disk.store_failures,
+                }
+            ),
+            "batches": {
+                "count": stats.batches,
+                "jobs": stats.batched_jobs,
+                "max_size": stats.max_batch_size,
+                "mean_size": stats.batched_jobs / stats.batches if stats.batches else 0.0,
+            },
+            "latency_seconds": {
+                "count": len(latencies),
+                "mean": sum(latencies) / len(latencies) if latencies else None,
+                "p50": percentile(latencies, 0.50),
+                "p95": percentile(latencies, 0.95),
+            },
+            "queue_depth": len(self._queue),
+            "inflight": len(self._inflight),
+            "workers": self.config.workers,
+            "pool": "resident" if self._pool is not None else "inline",
+        }
+
+
+__all__ = [
+    "ExplorationService",
+    "NormalizedRequest",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceStats",
+    "percentile",
+]

@@ -1,0 +1,222 @@
+"""Asyncio HTTP/JSON front-end for the exploration service.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+frameworks, no new dependencies — speaking exactly the protocol the
+blocking :mod:`repro.service.client` consumes:
+
+* ``GET /healthz`` — liveness (status, uptime, worker mode);
+* ``GET /stats``   — cache hit rates, batch sizes, latency percentiles;
+* ``POST /explore`` — one litmus job request (see
+  :meth:`~repro.service.core.ExplorationService.normalize` for the body);
+* ``POST /shutdown`` — graceful stop (used by CI and the benchmark).
+
+Connections are one-request-per-connection (``Connection: close``): the
+service's economics are dominated by exploration and caching, not TCP
+handshakes on localhost, and the absence of keep-alive state keeps the
+parser ~100 lines and robust.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from .core import ExplorationService, ServiceConfig
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Ceiling on any request body; individual fields have tighter limits.
+MAX_BODY_BYTES = 1 << 20
+
+#: Ceiling on the request line + headers, and on the header count.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_HEADERS = 100
+
+#: A client gets this long (seconds) to deliver its complete request.
+#: Exploration time is *not* under this clock — only the read is — so a
+#: stalled or byte-dripping connection cannot pin a handler forever.
+READ_TIMEOUT = 30.0
+
+
+class ServiceServer:
+    """Bind an :class:`ExplorationService` to a listening TCP socket."""
+
+    def __init__(
+        self,
+        service: ExplorationService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> tuple[str, int]:
+        """Start the service and the listener; returns ``(host, port)``.
+
+        Binding port ``0`` picks an ephemeral port, reported back here —
+        that is how the tests and the benchmark avoid port collisions.
+        """
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def wait_shutdown(self) -> None:
+        await self._shutdown.wait()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+        self._shutdown.set()
+
+    # -- connection handling -------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception:
+            status, payload = 500, {"ok": False, "error": "internal server error"}
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        # Only the *read* runs under the deadline: a slow or silent
+        # client is cut off, while a legitimately slow exploration in
+        # _route keeps its own per-job timeout budget.
+        try:
+            parsed = await asyncio.wait_for(self._read_request(reader), READ_TIMEOUT)
+        except asyncio.TimeoutError:
+            return 400, {"ok": False, "error": f"request not received within {READ_TIMEOUT}s"}
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return 400, {"ok": False, "error": "truncated or oversized request"}
+        if isinstance(parsed, tuple) and len(parsed) == 2:
+            return parsed  # an error response from the parser
+        method, path, body = parsed
+        return await self._route(method, path, body)
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse request line + headers + body, with hard size caps."""
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"ok": False, "error": "malformed request line"}
+        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+        headers = {}
+        header_bytes = len(request_line)
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES or len(headers) >= MAX_HEADERS:
+                return 431, {"ok": False, "error": "request headers too large"}
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return 400, {"ok": False, "error": "malformed Content-Length"}
+        if length < 0:
+            return 400, {"ok": False, "error": "malformed Content-Length"}
+        if length > MAX_BODY_BYTES:
+            return 413, {"ok": False, "error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"ok": False, "error": "use GET /healthz"}
+            return 200, self.service.healthz()
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"ok": False, "error": "use GET /stats"}
+            return 200, self.service.stats_snapshot()
+        if path == "/explore":
+            if method != "POST":
+                return 405, {"ok": False, "error": "use POST /explore"}
+            try:
+                payload = json.loads(body.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"ok": False, "error": f"invalid JSON body: {exc}"}
+            return await self.service.handle_explore(payload)
+        if path == "/shutdown":
+            if method != "POST":
+                return 405, {"ok": False, "error": "use POST /shutdown"}
+            self._shutdown.set()
+            return 200, {"ok": True, "stopping": True}
+        return 404, {"ok": False, "error": f"no such endpoint {path!r}"}
+
+
+def run_server(
+    config: Optional[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    on_ready=None,
+) -> None:
+    """Blocking entry point: serve until ``POST /shutdown`` or Ctrl-C.
+
+    ``on_ready(host, port)`` (optional) fires once the socket is bound —
+    with ``port=0`` that is the only way to learn the chosen port.
+    """
+
+    async def _main() -> None:
+        server = ServiceServer(ExplorationService(config), host, port)
+        bound_host, bound_port = await server.start()
+        print(
+            f"promising-arm service listening on http://{bound_host}:{bound_port} "
+            f"({server.service.healthz()['pool']} pool, "
+            f"{server.service.config.workers} workers)",
+            flush=True,
+        )
+        if on_ready is not None:
+            on_ready(bound_host, bound_port)
+        try:
+            await server.wait_shutdown()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_HEADERS",
+    "READ_TIMEOUT",
+    "ServiceServer",
+    "run_server",
+]

@@ -12,7 +12,10 @@ Sub-commands mirror how the paper's rmem-based tool is used:
   sweep harness, with a persistent result cache and a JSON report;
 * ``fuzz`` — differential fuzzing: run the cycle-generated corpus across
   models and architectures, reporting every cross-model disagreement as a
-  counterexample with its reproducing test source.
+  counterexample with its reproducing test source;
+* ``serve`` — start the long-lived exploration service: an HTTP/JSON
+  front-end over a process-resident LRU, the persistent result cache,
+  and a warm worker pool, with request coalescing and micro-batching.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ import tempfile
 from pathlib import Path
 
 from ..harness import DEFAULT_MODELS, MODELS, run_fuzz, run_sweep
-from ..lang.kinds import Arch
+from ..lang.kinds import ARCH_ALIASES, Arch, parse_arch
 from ..litmus import (
     all_tests,
     attach_expected,
@@ -41,7 +44,9 @@ from ..promising import ExploreConfig, InteractiveSession
 
 
 def _arch(name: str) -> Arch:
-    return Arch.RISCV if name.lower() in ("riscv", "risc-v", "rv64") else Arch.ARM
+    # Historical CLI behaviour: unknown spellings fall back to ARM (the
+    # default), while the shared alias table decides what is known.
+    return parse_arch(name) or Arch.ARM
 
 
 def _load_test(args: argparse.Namespace):
@@ -164,7 +169,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if sweep.ok else 1
 
 
-_ARCH_NAMES = ("arm", "riscv", "risc-v", "rv64")
+_ARCH_NAMES = tuple(ARCH_ALIASES)
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -245,6 +250,21 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if fuzz.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        workers=args.workers,
+        batch_max_delay=args.batch_delay_ms / 1000.0,
+        batch_max_size=args.batch_max_size,
+        lru_capacity=args.lru_capacity,
+        cache_dir=args.cache_dir,
+        default_timeout=args.timeout,
+    )
+    run_server(config, args.host, args.port)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="promising-arm",
@@ -323,6 +343,27 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument("--expected", action="store_true",
                              help="attach axiomatic-oracle expected verdicts to the corpus")
     fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="start the long-lived exploration service (HTTP/JSON, warm worker pool)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8765,
+                              help="bind port (0 = ephemeral, printed on start)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="resident worker processes (<=1 = inline executor)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="persistent result cache directory (shared with sweeps)")
+    serve_parser.add_argument("--lru-capacity", type=int, default=4096,
+                              help="entries kept in the in-process LRU result cache")
+    serve_parser.add_argument("--batch-max-size", type=int, default=16,
+                              help="most cold jobs dispatched in one micro-batch")
+    serve_parser.add_argument("--batch-delay-ms", type=float, default=10.0,
+                              help="micro-batch accumulation window in milliseconds")
+    serve_parser.add_argument("--timeout", type=float, default=60.0,
+                              help="default per-job deadline in seconds")
+    serve_parser.set_defaults(func=cmd_serve)
     return parser
 
 

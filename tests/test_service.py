@@ -1,0 +1,378 @@
+"""Tests for the long-lived exploration service.
+
+Covers request normalization, the resident :class:`WorkerPool`, the
+caching/coalescing engine (the coalesced-counter assertion is an
+acceptance criterion of the service PR), and a live HTTP round-trip
+through the blocking client — the same path the CI smoke job drives.
+"""
+
+import asyncio
+import queue
+import threading
+
+import pytest
+
+from repro.harness.jobs import Job, execute_job
+from repro.harness.scheduler import WorkerPool
+from repro.lang.kinds import Arch
+from repro.litmus import get_test
+from repro.service import (
+    ExplorationService,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    ServiceError,
+    percentile,
+)
+from repro.service.http import run_server
+
+MP_SOURCE = (
+    "AArch64 MP-service\n"
+    "{ 0:X1=x; 0:X3=y; 1:X1=y; 1:X3=x; }\n"
+    " P0          | P1          ;\n"
+    " MOV W0,#1   | LDR W0,[X1] ;\n"
+    " STR W0,[X1] | LDR W2,[X3] ;\n"
+    " STR W0,[X3] |             ;\n"
+    "exists (1:X0=1 /\\ 1:X2=0)\n"
+)
+
+
+def make_service(**overrides) -> ExplorationService:
+    defaults = dict(workers=1, batch_max_delay=0.0)
+    defaults.update(overrides)
+    return ExplorationService(ServiceConfig(**defaults))
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_nearest_rank(self):
+        values = [0.1, 0.2, 0.3, 0.4]
+        assert percentile(values, 0.5) == 0.2
+        assert percentile(values, 0.95) == 0.4
+        assert percentile([7.0], 0.95) == 7.0
+
+
+class TestNormalize:
+    def normalize(self, payload, **overrides):
+        return make_service(**overrides).normalize(payload)
+
+    def test_requires_exactly_one_of_source_and_test(self):
+        with pytest.raises(ServiceError):
+            self.normalize({})
+        with pytest.raises(ServiceError):
+            self.normalize({"test": "MP", "source": MP_SOURCE})
+
+    def test_catalogue_test(self):
+        request = self.normalize({"test": "MP", "models": ["promising", "axiomatic"]})
+        assert request.name == "MP" and request.arch is Arch.ARM
+        assert [job.model for job in request.jobs] == ["promising", "axiomatic"]
+        assert len({job.fingerprint() for job in request.jobs}) == 2
+
+    def test_source_arch_comes_from_header(self):
+        request = self.normalize({"source": MP_SOURCE})
+        assert request.arch is Arch.ARM and request.name == "MP-service"
+
+    def test_explicit_arch_and_comma_models(self):
+        request = self.normalize({"test": "SB", "arch": "riscv", "models": "promising,flat"})
+        assert request.arch is Arch.RISCV
+        assert request.models == ("promising", "flat")
+
+    def test_models_deduped(self):
+        request = self.normalize({"test": "SB", "models": ["promising", "promising"]})
+        assert request.models == ("promising",)
+
+    def test_unknown_model_arch_and_test(self):
+        with pytest.raises(ServiceError):
+            self.normalize({"test": "SB", "models": ["quantum"]})
+        with pytest.raises(ServiceError):
+            self.normalize({"test": "SB", "arch": "ia64"})
+        with pytest.raises(ServiceError):
+            self.normalize({"test": "definitely-not-a-test"})
+
+    def test_unparseable_source_is_client_error(self):
+        with pytest.raises(ServiceError):
+            self.normalize({"source": "this is not litmus"})
+
+    def test_option_bounds(self):
+        with pytest.raises(ServiceError):
+            self.normalize({"test": "SB", "options": {"loop_bound": 0}})
+        with pytest.raises(ServiceError):
+            self.normalize({"test": "SB", "options": {"loop_bound": 99}})
+        with pytest.raises(ServiceError):
+            self.normalize({"test": "SB", "options": {"timeout": -1}})
+        with pytest.raises(ServiceError):
+            self.normalize({"test": "SB", "options": {"max_states": 0}})
+        # Over-limit timeouts are rejected like every other option, not
+        # silently clamped.
+        with pytest.raises(ServiceError):
+            self.normalize({"test": "SB", "options": {"timeout": 10_000}})
+        request = self.normalize({"test": "SB", "options": {"timeout": 5}})
+        assert request.timeout == 5.0
+
+    def test_oversized_source_is_413(self):
+        with pytest.raises(ServiceError) as excinfo:
+            self.normalize({"source": MP_SOURCE}, max_source_bytes=8)
+        assert excinfo.value.status == 413
+
+    def test_options_shape_job_fingerprints(self):
+        loose = self.normalize({"test": "SB"})
+        tight = self.normalize({"test": "SB", "options": {"max_states": 17}})
+        assert loose.jobs[0].fingerprint() != tight.jobs[0].fingerprint()
+
+
+class TestWorkerPool:
+    def test_results_match_serial_execution(self):
+        jobs = [Job(test=get_test(name), model="axiomatic") for name in ("SB", "MP")]
+        with WorkerPool(2) as pool:
+            pooled = pool.run(jobs)
+        serial = [execute_job(job) for job in jobs]
+        for a, b in zip(pooled, serial):
+            assert a.name == b.name
+            assert set(a.outcomes) == set(b.outcomes)
+
+    def test_pool_stays_warm_across_batches(self):
+        job = Job(test=get_test("SB"), model="axiomatic")
+        with WorkerPool(1) as pool:
+            pool.run([job])
+            pool.run([job])
+            assert pool.batches == 2 and pool.jobs_executed == 2
+
+    def test_on_result_streams_every_index(self):
+        jobs = [Job(test=get_test(name), model="axiomatic") for name in ("SB", "MP", "LB")]
+        seen = {}
+        with WorkerPool(2) as pool:
+            pool.run(jobs, on_result=lambda index, result: seen.__setitem__(index, result))
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_timeout_sequence_must_match(self):
+        job = Job(test=get_test("SB"), model="axiomatic")
+        with WorkerPool(1) as pool:
+            with pytest.raises(ValueError):
+                pool.run([job, job], timeout=[1.0])
+
+    def test_closed_pool_rejects_work(self):
+        pool = WorkerPool(1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            pool.run([Job(test=get_test("SB"), model="axiomatic")])
+
+
+class TestServiceCore:
+    def test_compute_then_lru_hit(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                status, first = await service.handle_explore({"test": "SB"})
+                assert status == 200 and first["ok"]
+                assert first["results"][0]["served_from"] == "computed"
+                status, second = await service.handle_explore({"test": "SB"})
+                assert second["results"][0]["served_from"] == "lru"
+                assert (
+                    second["results"][0]["outcome_digest"]
+                    == first["results"][0]["outcome_digest"]
+                )
+                snapshot = service.stats_snapshot()
+                assert snapshot["served"]["computed"] == 1
+                assert snapshot["served"]["lru"] == 1
+                assert snapshot["cache_hit_rate"] == 0.5
+            finally:
+                await service.stop()
+
+        run_async(scenario())
+
+    def test_identical_inflight_requests_coalesce(self):
+        async def scenario():
+            # A generous batch window keeps the first job in flight while
+            # the identical followers arrive, making coalescing
+            # deterministic rather than a timing accident.
+            service = make_service(batch_max_delay=0.2)
+            await service.start()
+            try:
+                request = {"test": "LB", "models": ["promising"]}
+                responses = await asyncio.gather(
+                    *(service.handle_explore(request) for _ in range(3))
+                )
+                snapshot = service.stats_snapshot()
+                assert snapshot["served"]["computed"] == 1
+                assert snapshot["served"]["coalesced"] == 2
+                assert snapshot["batches"]["jobs"] == 1
+                digests = {
+                    response["results"][0]["outcome_digest"]
+                    for _status, response in responses
+                }
+                assert len(digests) == 1
+                kinds = sorted(
+                    response["results"][0]["served_from"] for _status, response in responses
+                )
+                assert kinds == ["coalesced", "coalesced", "computed"]
+            finally:
+                await service.stop()
+
+        run_async(scenario())
+
+    def test_disk_cache_survives_restart(self, tmp_path):
+        async def scenario():
+            first = make_service(cache_dir=str(tmp_path))
+            await first.start()
+            try:
+                await first.handle_explore({"test": "SB"})
+            finally:
+                await first.stop()
+            second = make_service(cache_dir=str(tmp_path))
+            await second.start()
+            try:
+                _status, response = await second.handle_explore({"test": "SB"})
+                assert response["results"][0]["served_from"] == "disk"
+                # Promotion: the next hit comes from the in-process LRU.
+                _status, response = await second.handle_explore({"test": "SB"})
+                assert response["results"][0]["served_from"] == "lru"
+            finally:
+                await second.stop()
+
+        run_async(scenario())
+
+    def test_truncation_warning_flows_to_response(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                status, response = await service.handle_explore(
+                    {"test": "SB", "options": {"max_states": 1}}
+                )
+                assert status == 200
+                row = response["results"][0]
+                assert row["truncated"] is True
+                assert row["warning"] and "truncated" in row["warning"]
+                assert row["matches_expectation"] is None
+            finally:
+                await service.stop()
+
+        run_async(scenario())
+
+    def test_bad_request_is_400_and_counted(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                status, response = await service.handle_explore({"test": "nope"})
+                assert status == 400 and not response["ok"]
+                assert service.stats.bad_requests == 1
+                assert service.stats_snapshot()["requests"] == 0
+            finally:
+                await service.stop()
+
+        run_async(scenario())
+
+    def test_stop_fails_pending_requests_instead_of_hanging(self):
+        async def scenario():
+            # A huge batch window guarantees the request is still queued
+            # when the service stops; the waiter must get a 503, not hang.
+            service = make_service(batch_max_delay=30.0)
+            await service.start()
+            pending = asyncio.create_task(service.handle_explore({"test": "SB"}))
+            await asyncio.sleep(0.05)
+            await service.stop()
+            status, response = await asyncio.wait_for(pending, timeout=5.0)
+            assert status == 503 and not response["ok"]
+
+        run_async(scenario())
+
+    def test_include_outcomes_false_omits_payload(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                _status, response = await service.handle_explore(
+                    {"test": "SB", "options": {"include_outcomes": False}}
+                )
+                assert "outcomes" not in response["results"][0]
+                assert response["results"][0]["n_outcomes"] is not None
+            finally:
+                await service.stop()
+
+        run_async(scenario())
+
+
+@pytest.fixture(scope="module")
+def live_service():
+    """A real server on an ephemeral port, driven through the client."""
+    ready: "queue.Queue[tuple[str, int]]" = queue.Queue()
+    config = ServiceConfig(workers=1, batch_max_delay=0.0, lru_capacity=64)
+    thread = threading.Thread(
+        target=run_server,
+        args=(config, "127.0.0.1", 0),
+        kwargs={"on_ready": lambda host, port: ready.put((host, port))},
+        daemon=True,
+    )
+    thread.start()
+    host, port = ready.get(timeout=30)
+    client = ServiceClient(host, port, timeout=60.0)
+    client.wait_until_ready(30)
+    yield client
+    client.shutdown()
+    thread.join(timeout=30)
+
+
+class TestHttpRoundTrip:
+    def test_healthz(self, live_service):
+        health = live_service.healthz()
+        assert health["status"] == "ok"
+        assert health["pool"] == "inline"
+
+    def test_explore_and_warm_hit(self, live_service):
+        first = live_service.explore(test="MP+dmb+addr", models=["promising", "axiomatic"])
+        assert first["ok"] and first["test"] == "MP+dmb+addr"
+        verdicts = {row["model"]: row["verdict"] for row in first["results"]}
+        assert verdicts == {"promising": "forbidden", "axiomatic": "forbidden"}
+        second = live_service.explore(test="MP+dmb+addr", models=["promising", "axiomatic"])
+        assert all(row["served_from"] == "lru" for row in second["results"])
+
+    def test_source_round_trip(self, live_service):
+        response = live_service.explore(source=MP_SOURCE, models="promising")
+        assert response["ok"] and response["results"][0]["verdict"] == "allowed"
+        assert response["results"][0]["outcomes"]
+
+    def test_stats_endpoint(self, live_service):
+        live_service.explore(test="SB")
+        stats = live_service.stats()
+        assert stats["requests"] >= 1
+        assert stats["served"]["computed"] >= 1
+        assert stats["latency_seconds"]["p50"] is not None
+
+    def test_client_error_carries_status(self, live_service):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live_service.explore(test="not-a-test")
+        assert excinfo.value.status == 400
+
+    def test_unknown_endpoint_is_404(self, live_service):
+        with pytest.raises(ServiceClientError) as excinfo:
+            live_service._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_negative_content_length_is_400(self, live_service):
+        import socket
+
+        with socket.create_connection((live_service.host, live_service.port)) as sock:
+            sock.sendall(
+                b"POST /explore HTTP/1.1\r\n"
+                b"Content-Length: -1\r\n\r\n"
+            )
+            reply = sock.recv(4096).decode()
+        assert reply.startswith("HTTP/1.1 400")
+
+    def test_header_flood_is_431(self, live_service):
+        import socket
+
+        flood = b"".join(b"x-filler-%d: y\r\n" % i for i in range(200))
+        with socket.create_connection((live_service.host, live_service.port)) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n" + flood + b"\r\n")
+            reply = sock.recv(4096).decode()
+        assert reply.startswith("HTTP/1.1 431")
