@@ -55,7 +55,9 @@ def test_cold_vs_warm_sweep(benchmark, tmp_path, table_printer):
     assert warm_wall * 5 <= cold.wall_seconds, (warm_wall, cold.wall_seconds)
 
     artifact = json.loads(report_path.read_text())
-    assert artifact["schema_version"] == 1
+    from repro.harness import REPORT_SCHEMA_VERSION
+
+    assert artifact["schema_version"] == REPORT_SCHEMA_VERSION
     assert artifact["n_jobs"] == 2 * len(tests)
     assert all(job["elapsed_seconds"] >= 0 for job in artifact["jobs"])
 

@@ -21,6 +21,11 @@
 # a concurrent-identical-request burst proving coalescing; it writes
 # BENCH_service.json.
 #
+# The sample stage (benchmarks/test_sample_scaling.py) demonstrates the
+# random-walk `sample` strategy on a blown-up workload where exhaustive
+# exploration truncates, writing the coverage-vs-samples curve to
+# BENCH_sample.json.
+#
 # Knobs: SWEEP_TESTS (battery size), SWEEP_WORKERS, SWEEP_MODELS,
 #        FUZZ_PER_FAMILY (fuzz corpus bound per cycle family), FUZZ_MODELS,
 #        SERVICE_REQUESTS (warm served requests in the service stage).
@@ -44,13 +49,15 @@ run_sweep() {
 
 echo "== cold sweep ($TESTS tests, $MODELS, $WORKERS workers) =="
 rm -rf "$CACHE_DIR"
-cold_start=$(python -c 'import time; print(time.time())')
+# Durations are measured on the monotonic clock: an NTP step of the wall
+# clock mid-benchmark must not distort the cold/warm comparison.
+cold_start=$(python -c 'import time; print(time.monotonic())')
 run_sweep
-cold_end=$(python -c 'import time; print(time.time())')
+cold_end=$(python -c 'import time; print(time.monotonic())')
 
 echo "== warm sweep (persistent cache at $CACHE_DIR) =="
 run_sweep
-warm_end=$(python -c 'import time; print(time.time())')
+warm_end=$(python -c 'import time; print(time.monotonic())')
 
 python - "$cold_start" "$cold_end" "$warm_end" <<'EOF'
 import json, sys
@@ -83,6 +90,22 @@ echo "report written to BENCH_fuzz.json"
 
 echo "== service benchmark (cold CLI vs warm served; writes BENCH_service.json) =="
 python scripts/bench_service.py --warm-requests "${SERVICE_REQUESTS:-200}"
+
+echo "== sample-vs-exhaustive scaling (writes BENCH_sample.json) =="
+python -m pytest -q benchmarks/test_sample_scaling.py
+
+python - <<'EOF'
+import json
+report = json.load(open("BENCH_sample.json"))
+for row in report["exhaustive"]:
+    print(f"{row['model']}: exhaustive TRUNCATED at {row['max_states']} states "
+          f"({row['n_outcomes']} outcomes, {row['elapsed_seconds']}s)")
+for row in report["sample_runs"]:
+    print(f"{row['model']}: sample n={row['samples']} -> {row['n_outcomes']} outcomes, "
+          f"coverage est. {row['coverage_estimate']}, {row['elapsed_seconds']}s")
+print(f"claims: {report['claims']}")
+EOF
+echo "report written to BENCH_sample.json"
 
 echo "== dedup ablation (writes BENCH_dedup.json) =="
 python -m pytest -q benchmarks/test_dedup_speedup.py

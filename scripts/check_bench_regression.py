@@ -23,6 +23,14 @@ by default), then compares the fresh results job-by-job:
   shape and recorded claims; regenerating the numbers is
   ``scripts/bench_service.py``'s job.
 
+* **Sampling artifact** — the committed ``BENCH_sample.json`` must parse
+  against the sample-scaling schema and record the PR 5 capability
+  claim: on the blown-up workload, every exhaustive row truncated while
+  every ``sample`` row completed with a non-empty outcome set, zero
+  safety-condition violations, and less wall-clock than its truncated
+  exhaustive counterpart.  Regeneration is
+  ``benchmarks/test_sample_scaling.py``'s job (via ``bench.sh``).
+
 Exit status: 0 clean, 1 regression found, 2 usage/baseline problems.
 
 Run it locally after touching an explorer::
@@ -103,6 +111,16 @@ def parse_args(argv: list[str] | None) -> argparse.Namespace:
         action="store_true",
         help="skip BENCH_service.json validation entirely",
     )
+    parser.add_argument(
+        "--sample-baseline",
+        default=str(REPO_ROOT / "BENCH_sample.json"),
+        help="tracked sample-scaling report to schema-validate",
+    )
+    parser.add_argument(
+        "--skip-sample",
+        action="store_true",
+        help="skip BENCH_sample.json validation entirely",
+    )
     return parser.parse_args(argv)
 
 
@@ -170,6 +188,94 @@ def validate_service_report(path: Path, min_speedup: float) -> list[str]:
     return failures
 
 
+#: ``BENCH_sample.json`` required layout, in lockstep with
+#: ``benchmarks/test_sample_scaling.py``.
+SAMPLE_SCHEMA = {
+    "schema_version": None,
+    "name": None,
+    "generated_unix": None,
+    "workload": ("name", "n_threads"),
+    "sample_depth": None,
+    "seed": None,
+    "exhaustive": None,
+    "sample_runs": None,
+    "claims": ("sample_completes_where_exhaustive_truncates",),
+}
+
+SAMPLE_EXHAUSTIVE_ROW_KEYS = ("model", "max_states", "truncated", "n_outcomes", "elapsed_seconds")
+SAMPLE_RUN_ROW_KEYS = (
+    "model",
+    "samples",
+    "seed",
+    "samples_run",
+    "n_outcomes",
+    "coverage_estimate",
+    "condition_violations",
+    "elapsed_seconds",
+)
+
+
+def validate_sample_report(path: Path) -> list[str]:
+    """Schema + recorded-claims validation of ``BENCH_sample.json``."""
+    failures: list[str] = []
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"sample baseline {path} unreadable: {exc}"]
+    if not isinstance(report, dict):
+        return [f"sample baseline {path} is not a JSON object"]
+    for key, subkeys in SAMPLE_SCHEMA.items():
+        if key not in report:
+            failures.append(f"sample baseline missing key {key!r}")
+            continue
+        if subkeys is None:
+            continue
+        block = report[key]
+        if not isinstance(block, dict):
+            failures.append(f"sample baseline {key!r} must be an object")
+            continue
+        for subkey in subkeys:
+            if subkey not in block:
+                failures.append(f"sample baseline missing {key}.{subkey}")
+    if failures:
+        return failures
+    exhaustive_rows = report["exhaustive"]
+    sample_rows = report["sample_runs"]
+    if not exhaustive_rows or not sample_rows:
+        return ["sample baseline must record exhaustive and sample rows"]
+    for row in exhaustive_rows:
+        missing = [k for k in SAMPLE_EXHAUSTIVE_ROW_KEYS if k not in row]
+        if missing:
+            failures.append(f"sample baseline exhaustive row missing {missing}")
+            continue
+        if not row["truncated"]:
+            failures.append(
+                f"exhaustive {row['model']} did not truncate — the artifact no "
+                "longer demonstrates a state space that needs sampling"
+            )
+    exhaustive_by_model = {r["model"]: r for r in exhaustive_rows if "model" in r}
+    for row in sample_rows:
+        missing = [k for k in SAMPLE_RUN_ROW_KEYS if k not in row]
+        if missing:
+            failures.append(f"sample baseline sample row missing {missing}")
+            continue
+        label = f"sample {row['model']} n={row['samples']}"
+        if row["n_outcomes"] < 1:
+            failures.append(f"{label} recorded an empty outcome set")
+        if row["condition_violations"] != 0:
+            failures.append(
+                f"{label} recorded {row['condition_violations']} safety-condition "
+                "violation(s) — a real model bug, not a bench artifact problem"
+            )
+        exhaustive = exhaustive_by_model.get(row["model"])
+        if exhaustive and row["elapsed_seconds"] >= exhaustive["elapsed_seconds"]:
+            failures.append(f"{label} was not faster than its truncated exhaustive run")
+    claims = report["claims"]["sample_completes_where_exhaustive_truncates"]
+    if not (isinstance(claims, dict) and claims and all(claims.values())):
+        failures.append(f"sample baseline claim block must be all-true, got {claims!r}")
+    return failures
+
+
 def family(name: str) -> str:
     return name.split("+")[0]
 
@@ -232,6 +338,20 @@ def main(argv: list[str] | None = None) -> int:
             # regression (--skip-service is the explicit opt-out).
             failures.append(f"service baseline not found: {service_path}")
             print(f"service  : {service_path} MISSING")
+
+    # -- sampling artifact -------------------------------------------------
+    if not args.skip_sample:
+        sample_path = Path(args.sample_baseline)
+        if sample_path.exists():
+            sample_failures = validate_sample_report(sample_path)
+            failures.extend(sample_failures)
+            print(
+                f"sample   : {sample_path} "
+                f"({'OK' if not sample_failures else f'{len(sample_failures)} problem(s)'})"
+            )
+        else:
+            failures.append(f"sample baseline not found: {sample_path}")
+            print(f"sample   : {sample_path} MISSING")
 
     # -- semantic comparison ----------------------------------------------
     compared = 0

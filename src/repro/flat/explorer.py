@@ -25,8 +25,9 @@ import time
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
+from ..explore import BaseSearchConfig, SearchKernel, SearchStats, strategy_for
 from ..lang.ast import Assign, Fence, If, Isb, Load, Seq, Skip, Stmt, Store
-from ..lang.kinds import Arch, FenceSet, VFAIL, VSUCC
+from ..lang.kinds import FenceSet, VFAIL, VSUCC
 from ..lang.program import Program, TId
 from ..lang.transform import unroll_program
 from ..lang import has_loops
@@ -45,36 +46,34 @@ from .machine import (
 
 
 @dataclass
-class FlatConfig:
-    """Configuration of the Flat-style explorer."""
+class FlatConfig(BaseSearchConfig):
+    """Configuration of the Flat-style explorer.
 
-    arch: Arch = Arch.ARM
-    loop_bound: int = 2
-    #: Maximum number of in-flight instructions per thread.
-    window_size: int = 8
+    The search-kernel fields (``arch``, ``loop_bound``, ``max_states``,
+    ``deadline_seconds``, ``dedup``, ``strategy``, ``samples``,
+    ``sample_depth``, ``seed``) come from :class:`BaseSearchConfig`.
+    """
+
     #: Cap on explored machine states.
     max_states: int = 2_000_000
-    #: Deduplicate structurally identical machine states (visited set over
-    #: hash-consed state keys).  Ablation knob; outcomes are identical.
-    dedup: bool = True
+    #: Maximum number of in-flight instructions per thread.
+    window_size: int = 8
 
 
 @dataclass
-class FlatStats:
+class FlatStats(SearchStats):
+    """Flat explorer diagnostics, extending the kernel's shared stats."""
+
     states: int = 0
     transitions: int = 0
     restarts: int = 0
-    truncated: bool = False
-    elapsed_seconds: float = 0.0
-    #: Visited-set hits: symmetric interleavings reaching a known state.
-    dedup_hits: int = 0
 
     def describe(self) -> str:
         return (
             f"states: {self.states}, transitions: {self.transitions}, "
             f"restarts: {self.restarts}, dedup hits: {self.dedup_hits}, "
             f"truncated: {self.truncated}, time: {self.elapsed_seconds:.3f}s"
-        )
+        ) + self.sampling_suffix()
 
 
 @dataclass
@@ -348,11 +347,31 @@ def successors(state: FlatState, config: FlatConfig) -> Iterator[tuple[str, Flat
                         window=thread.window[:index] + (resolved,),
                         continuation=entry.alt_continuation or Skip(),
                     )
+                    # A squashed load-exclusive must take its monitor with
+                    # it: the reservation it established would otherwise
+                    # let a refetched store-exclusive pair with a load
+                    # that architecturally never happened — an SC that
+                    # *spuriously succeeds* (e.g. a CAS acting
+                    # non-atomically across another thread's write).
+                    # Clearing is always sound: SC may always fail.
+                    if any(
+                        squashed.kind == "load"
+                        and squashed.done
+                        and isinstance(squashed.stmt, Load)
+                        and squashed.stmt.exclusive
+                        for squashed in thread.window[index + 1 :]
+                    ):
+                        new_thread = replace(new_thread, reservation=None)
                     yield "restart", _with_thread(state, tid, new_thread)
 
 
 def explore_flat(program: Program, config: Optional[FlatConfig] = None) -> FlatResult:
-    """Exhaustively enumerate outcomes under the Flat-style model."""
+    """Enumerate outcomes under the Flat-style model.
+
+    Exhaustive under ``dfs``/``bfs``; under ``sample`` each walk is one
+    random sequence of fetch/execute/resolve transitions run to a final
+    state, so the outcome set is a sound under-approximation.
+    """
     config = config or FlatConfig()
     start = time.perf_counter()
     stats = FlatStats()
@@ -361,30 +380,29 @@ def explore_flat(program: Program, config: Optional[FlatConfig] = None) -> FlatR
         prepared = unroll_program(program, config.loop_bound)
     init = initial_state(prepared, config.arch)
     outcomes = OutcomeSet()
-    visited: set[tuple] = set()
-    if config.dedup:
-        visited.add(init.cache_key())
-    stack = [init]
-    while stack:
-        state = stack.pop()
-        stats.states += 1
-        if stats.states > config.max_states:
-            stats.truncated = True
-            break
+
+    def expand(state: FlatState) -> list[FlatState]:
         if state.is_final:
             outcomes.add(state.outcome())
-            continue
+            return []
+        result = []
         for label, succ in successors(state, config):
-            stats.transitions += 1
             if label == "restart":
                 stats.restarts += 1
-            if config.dedup:
-                key = succ.cache_key()
-                if key in visited:
-                    stats.dedup_hits += 1
-                    continue
-                visited.add(key)
-            stack.append(succ)
+            result.append(succ)
+        return result
+
+    kernel = SearchKernel(
+        expand,
+        strategy=strategy_for(config),
+        max_states=config.max_states,
+        deadline_seconds=config.deadline_seconds,
+        key_fn=(lambda s: s.cache_key()) if config.dedup else None,
+    )
+    kernel.run([init])
+    stats.states += kernel.stats.states
+    stats.transitions += kernel.stats.transitions
+    kernel.finish(stats)
     stats.elapsed_seconds = time.perf_counter() - start
     return FlatResult(outcomes, stats, program)
 

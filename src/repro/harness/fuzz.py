@@ -15,9 +15,14 @@ pair, because the models make different promises:
   bugs while promising-only outcomes are explained differences).
 
 Pairs involving a failed, timed-out, or truncated run are skipped (the
-per-job status still lands in the report).  Every counterexample carries
-the reproducing test source — the program listing, the condition, and the
-originating cycle spec — so a mismatch can be replayed in isolation.
+per-job status still lands in the report).  Runs produced by the
+``sample`` strategy are sound *under-approximations* — every sampled
+outcome is genuinely reachable — so a pair with exactly one sampled side
+is checked for **containment** (sampled ⊆ exhaustive), never equality,
+and a pair where both sides sampled proves nothing and is skipped.
+Every counterexample carries the reproducing test source — the program
+listing, the condition, and the originating cycle spec — so a mismatch
+can be replayed in isolation.
 """
 
 from __future__ import annotations
@@ -118,6 +123,12 @@ class FuzzResult:
                 f"  WARNING: {truncated} truncated job(s) skipped by every "
                 "comparison — their verdicts are unverified"
             )
+        sampled = self.report.get("sampled_jobs", 0)
+        if sampled:
+            lines.append(
+                f"  note: {sampled} sampled job(s) compared by containment "
+                "(sampled ⊆ exhaustive), never equality"
+            )
         for ce in self.counterexamples:
             lines.append(
                 f"  COUNTEREXAMPLE {ce['test']} [{ce['arch']}] "
@@ -172,8 +183,22 @@ def differential_mismatches(
             (job_a, a), (_job_b, b) = group[pair[0]], group[pair[1]]
             if not (_comparable(a) and _comparable(b)):
                 continue
+            if a.sampled and b.sampled:
+                # Two under-approximations constrain each other in
+                # neither direction; nothing to check.
+                continue
             set_a, set_b = set(a.outcomes), set(b.outcomes)
-            if set_a != set_b:
+            if a.sampled or b.sampled:
+                # Sampled outcomes are genuinely reachable, so they must
+                # appear in the exhaustive side's set; equality is never
+                # required of a sample.
+                sampled_set, full_set = (set_a, set_b) if a.sampled else (set_b, set_a)
+                if not sampled_set <= full_set:
+                    counterexamples.append(
+                        entry(pair, "sampled-outcomes-not-contained",
+                              len(set_a - set_b), len(set_b - set_a), job_a)
+                    )
+            elif set_a != set_b:
                 counterexamples.append(
                     entry(pair, "outcome-sets-differ",
                           len(set_a - set_b), len(set_b - set_a), job_a)
@@ -184,14 +209,20 @@ def differential_mismatches(
             (job_sub, sub), (_job_sup, sup) = group[sub_name], group[super_name]
             if not (_comparable(sub) and _comparable(sup)):
                 continue
+            if sup.sampled:
+                # The superset side under-approximates: containment can
+                # no longer be falsified soundly.
+                continue
             sub_set, super_set = set(sub.outcomes), set(sup.outcomes)
             extra = sub_set - super_set
             if extra:
+                # Valid even when ``sub`` sampled: sampled flat outcomes
+                # are real flat outcomes and must still be ⊆ promising.
                 counterexamples.append(
                     entry((sub_name, super_name), "subset-violated",
                           len(extra), len(super_set - sub_set), job_sub)
                 )
-            elif super_set - sub_set:
+            elif super_set - sub_set and not sub.sampled:
                 explained += 1
         for model, (job, result) in sorted(group.items()):
             if not (_comparable(result) and result.matches_expectation is False):

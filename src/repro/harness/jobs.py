@@ -37,7 +37,11 @@ if TYPE_CHECKING:  # litmus imports harness (runner); keep ours lazy.
 
 #: Bumped whenever the result format or the model semantics change in a way
 #: that invalidates previously cached results.
-FINGERPRINT_VERSION = 1
+#: v2: explorer configs carry search-strategy fields (``strategy``,
+#: ``samples``, ``sample_depth``, ``seed``, ``deadline_seconds``), so a
+#: sampled (or otherwise bounded) run keys a *different* cache entry and
+#: can never shadow an exhaustive result.
+FINGERPRINT_VERSION = 2
 
 #: Models a job can request.
 MODELS = ("promising", "promising-naive", "axiomatic", "flat")
@@ -253,7 +257,7 @@ class JobResult:
 
     @property
     def truncated(self) -> bool:
-        """Whether the exploration hit a state/fuel budget.
+        """Whether the exploration hit a state/fuel/deadline budget.
 
         A truncated run's outcome set is a (sound) under-approximation,
         so its verdict is *not verified* — reports and comparisons must
@@ -262,11 +266,37 @@ class JobResult:
         return bool(self.stats.get("truncated"))
 
     @property
+    def strategy(self) -> Optional[str]:
+        """The search strategy that produced this result (``None`` for
+        models without one, e.g. axiomatic enumeration)."""
+        return self.stats.get("strategy")
+
+    @property
+    def sampled(self) -> bool:
+        """Whether the run used a non-exhaustive (sampling) strategy.
+
+        Sampled outcome sets are sound under-approximations: every
+        outcome found is genuinely reachable, but absence proves
+        nothing.  Comparisons must therefore use containment, never
+        equality, and a ``forbidden`` verdict is unverified.
+        """
+        from ..explore import is_exhaustive
+
+        strategy = self.stats.get("strategy")
+        return strategy is not None and not is_exhaustive(strategy)
+
+    @property
     def warning(self) -> Optional[str]:
         if self.truncated:
             return (
-                "exploration truncated (max_states/cert_fuel budget hit): "
-                "outcome set may be incomplete, verdict unverified"
+                "exploration truncated (max_states/cert_fuel/deadline budget "
+                "hit): outcome set may be incomplete, verdict unverified"
+            )
+        if self.sampled:
+            return (
+                f"sampled exploration (strategy={self.strategy}): outcome set "
+                "is a statistical under-approximation; 'forbidden' verdicts "
+                "are unverified"
             )
         return None
 
@@ -275,6 +305,16 @@ class JobResult:
         # A truncated exploration may simply not have reached the outcome
         # that decides the verdict; refuse to confirm or deny.
         if self.expected is None or self.verdict is None or self.truncated:
+            return None
+        if self.sampled:
+            # One-sided check: a sampled 'allowed' rests on a concrete
+            # witness, so it can confirm an expected 'allowed' or expose
+            # an outcome the oracle forbids; a sampled 'forbidden' may
+            # just mean the walks missed the witness — abstain.
+            from ..litmus.test import Verdict
+
+            if self.verdict is Verdict.ALLOWED:
+                return self.verdict is self.expected
             return None
         return self.verdict is self.expected
 
@@ -286,6 +326,7 @@ class JobResult:
             f"{self.name:28s} {self.model:16s} {self.arch.value:7s} "
             f"{tail:9s} {self.elapsed_seconds:.3f}s{' (cached)' if self.cached else ''}"
             f"{' [TRUNCATED]' if self.truncated else ''}"
+            f"{' [SAMPLED]' if self.sampled else ''}"
         )
 
 

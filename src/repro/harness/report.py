@@ -20,7 +20,10 @@ from .jobs import Job, JobResult, STATUS_OK, outcome_to_json
 #: Bump on any backwards-incompatible change to the report layout.
 #: v2: per-job ``truncated``/``warning``/``outcome_digest`` fields, plus
 #: the top-level ``truncated_jobs`` count and ``dedup`` counter block.
-REPORT_SCHEMA_VERSION = 2
+#: v3: per-job search-strategy fields (``strategy``, ``sampled``,
+#: ``samples``, ``coverage_estimate``) and the top-level ``strategies``
+#: list + ``sampled_jobs`` count.
+REPORT_SCHEMA_VERSION = 3
 
 #: Explorer stats counters aggregated into the report's ``dedup`` block.
 DEDUP_COUNTERS = (
@@ -76,6 +79,13 @@ def job_entry(result: JobResult) -> dict:
         "elapsed_seconds": result.elapsed_seconds,
         "cached": result.cached,
         "truncated": result.truncated,
+        # Search-strategy provenance: ``strategy`` is None for models
+        # without a kernel (axiomatic); ``samples``/``coverage_estimate``
+        # are None for exhaustive runs.
+        "strategy": result.strategy,
+        "sampled": result.sampled,
+        "samples": result.stats.get("samples_run") if result.sampled else None,
+        "coverage_estimate": result.stats.get("coverage_estimate"),
         "warning": result.warning,
         "error": result.error,
         "fingerprint": result.fingerprint,
@@ -99,7 +109,11 @@ def find_mismatches(jobs: Sequence[Job], results: Sequence[JobResult]) -> list[d
     Truncated explorations (a state/candidate budget was hit) have
     incomplete outcome sets, so pairs involving one are skipped rather
     than reported as disagreements; the per-job ``stats`` still show the
-    truncation.
+    truncation.  Sampled runs are sound under-approximations, so a pair
+    with exactly one sampled side is checked for *containment* (the
+    sampled outcomes must appear in the exhaustive set) instead of
+    equality, and a pair where both sides sampled proves nothing and is
+    skipped.
     """
     by_test: dict[tuple[int, str], list[JobResult]] = {}
     names: dict[tuple[int, str], str] = {}
@@ -117,14 +131,23 @@ def find_mismatches(jobs: Sequence[Job], results: Sequence[JobResult]) -> list[d
                     continue
                 if a.stats.get("truncated") or b.stats.get("truncated"):
                     continue
-                if set(a.outcomes) != set(b.outcomes):
+                if a.sampled and b.sampled:
+                    continue
+                set_a, set_b = set(a.outcomes), set(b.outcomes)
+                if a.sampled:
+                    differ = not set_a <= set_b
+                elif b.sampled:
+                    differ = not set_b <= set_a
+                else:
+                    differ = set_a != set_b
+                if differ:
                     mismatches.append(
                         {
                             "test": name,
                             "arch": arch,
                             "models": [a.model, b.model],
-                            "only_first": len(set(a.outcomes) - set(b.outcomes)),
-                            "only_second": len(set(b.outcomes) - set(a.outcomes)),
+                            "only_first": len(set_a - set_b),
+                            "only_second": len(set_b - set_a),
                         }
                     )
     return mismatches
@@ -172,6 +195,8 @@ def build_report(
         "archs": sorted({r.arch.value for r in results}),
         "status_counts": statuses,
         "truncated_jobs": sum(1 for r in results if r.truncated),
+        "sampled_jobs": sum(1 for r in results if r.sampled),
+        "strategies": sorted({r.strategy for r in results if r.strategy}),
         "dedup": dedup,
         "ok": statuses.get(STATUS_OK, 0) == len(results),
         "cache": {

@@ -65,6 +65,15 @@ class SweepResult:
                 f"  WARNING: {truncated} truncated job(s) — outcome sets "
                 "incomplete, verdicts unverified (see per-job 'warning')"
             )
+        sampled = self.report.get("sampled_jobs", 0)
+        if sampled:
+            from ..explore import is_exhaustive
+
+            sampling = [s for s in self.report.get("strategies", []) if not is_exhaustive(s)]
+            lines.append(
+                f"  note: {sampled} sampled job(s) ({'+'.join(sampling)}) — "
+                "outcome sets are statistical under-approximations"
+            )
         for mismatch in self.mismatches:
             lines.append(
                 f"  mismatch: {mismatch['test']} [{mismatch['arch']}] "

@@ -1,6 +1,8 @@
-"""Exhaustive exploration of Promising-ARM/RISC-V executions (§7).
+"""Exploration of Promising-ARM/RISC-V executions (§7).
 
-Two explorers are provided:
+Two explorers are provided, both driven by the unified search kernel
+(:mod:`repro.explore`) and its pluggable strategies (``dfs``/``bfs``
+exhaustive, ``sample`` seeded random walks):
 
 * :func:`explore` — the paper's optimised strategy.  By Theorem 7.1 every
   trace can be reordered so that all promises come first; the explorer
@@ -15,20 +17,26 @@ Two explorers are provided:
   interleaved).  It produces the same outcome set and exists for
   cross-validation and for the ablation benchmark quantifying the value of
   the promise-first strategy.
+
+Under the ``sample`` strategy the kernel walks the same transition
+relation instead of enumerating it, so the outcome set is a sound
+under-approximation; the per-thread run-to-completion enumeration stays
+exhaustive regardless of the outer strategy (it must not invent partial
+register files).
 """
 
 from __future__ import annotations
 
-import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Optional
 
+from ..explore import BaseSearchConfig, DepthFirst, SearchKernel, SearchStats, strategy_for
 from ..lang.ast import Stmt
-from ..lang.kinds import Arch
 from ..lang.program import Loc, Program, TId
 from ..lang.transform import localise_private_locations, unroll_program
 from ..lang import has_loops
+from ..lang.kinds import Arch
 from ..outcomes import Outcome, OutcomeSet
 from .certification import (
     DEFAULT_FUEL,
@@ -43,56 +51,48 @@ from .steps import is_terminated, non_promise_steps, promise_step
 
 
 @dataclass
-class ExploreConfig:
-    """Configuration of the exhaustive explorers."""
+class ExploreConfig(BaseSearchConfig):
+    """Configuration of the promising explorers.
 
-    #: Architecture variant (ARM or RISC-V).
-    arch: Arch = Arch.ARM
-    #: Loop unrolling bound applied when the program contains loops.
-    loop_bound: int = 2
-    #: Bound on the states visited by a single certification run.
-    cert_fuel: int = DEFAULT_FUEL
+    The search-kernel fields (``arch``, ``loop_bound``, ``max_states``,
+    ``deadline_seconds``, ``dedup``, ``strategy``, ``samples``,
+    ``sample_depth``, ``seed``) come from :class:`BaseSearchConfig`; only
+    the promising-specific knobs live here.
+    """
+
     #: Cap on promise-mode machine states (safety valve; exploration is
     #: reported as truncated when hit).
     max_states: int = 500_000
+    #: Bound on the states visited by a single certification run.
+    cert_fuel: int = DEFAULT_FUEL
     #: Apply the shared-location optimisation of §7.
     localise: bool = True
     #: Locations that must be kept in memory even if thread-private
     #: (e.g. locations observed by a litmus final-state condition).
     shared_locations: tuple[Loc, ...] = ()
-    #: Deduplicate structurally identical states (visited sets on the
-    #: promise frontier and the per-thread run-to-completion enumeration,
-    #: plus hash-consed state keys).  Disabling is for the ablation
-    #: benchmark only; the outcome set is identical either way.
-    dedup: bool = True
     #: Memoise certification (one sequential-graph build answers the
     #: certified / promises / can-complete questions per configuration).
     #: Disabling falls back to the seed's separate searches.
     cert_memo: bool = True
 
-    def for_arch(self, arch: Arch) -> "ExploreConfig":
-        # ``dataclasses.replace`` rather than a field-by-field copy, so a
-        # config field added later is carried over instead of silently
-        # reset to its default when the harness re-targets an arch.
-        return dataclasses.replace(self, arch=arch)
-
 
 @dataclass
-class ExplorationStats:
-    """Diagnostics collected during exploration."""
+class ExplorationStats(SearchStats):
+    """Diagnostics collected during exploration.
+
+    Extends the kernel's shared :class:`~repro.explore.SearchStats`
+    (truncation, deadline, strategy and sampling counters) with the
+    promise-first specifics.
+    """
 
     promise_states: int = 0
     promise_transitions: int = 0
     final_memories: int = 0
     thread_enumeration_states: int = 0
     deadlocked_states: int = 0
-    truncated: bool = False
-    elapsed_seconds: float = 0.0
     localised_locations: tuple[Loc, ...] = ()
-    #: Machine-level visited-set hits (a successor state was already
-    #: explored via a symmetric interleaving).
-    dedup_hits: int = 0
-    #: Seen-set hits inside the per-thread run-to-completion enumeration.
+    #: Seen-set hits inside the per-thread run-to-completion enumeration
+    #: (machine-level hits are the inherited ``dedup_hits``).
     thread_dedup_hits: int = 0
     #: Whole-enumeration reuse: a (thread, memory) completion set was
     #: recalled instead of recomputed.
@@ -114,7 +114,7 @@ class ExplorationStats:
             f"cert memo hits: {self.cert_memo_hits}/{self.cert_calls}, "
             f"truncated: {self.truncated}, "
             f"time: {self.elapsed_seconds:.3f}s"
-        )
+        ) + self.sampling_suffix()
 
 
 @dataclass
@@ -166,38 +166,46 @@ def _enumerate_thread_completions(
     collect the register file of every run that terminates with all
     promises fulfilled.
 
-    With ``pool`` (dedup enabled) symmetric instruction interleavings that
+    Always exhaustive (plain DFS through the kernel) even when the outer
+    promise search is sampling: a sampled run must under-approximate the
+    *reachable memories*, never fabricate partial register files.  With
+    ``pool`` (dedup enabled) symmetric instruction interleavings that
     reconverge on the same thread state are enumerated once, through
     hash-consed ``(statement, thread-state)`` keys; without it the search
     degenerates to the full execution tree (ablation mode).
     """
     results: set[tuple] = set()
-    seen: set[tuple] = set()
-    expanded = 0
-    stack: list[tuple[Stmt, TState]] = [(stmt, ts)]
-    while stack:
-        cur_stmt, cur_ts = stack.pop()
-        if pool is not None:
-            key = (cur_stmt, pool.tstates.intern(cur_ts.cache_key()))
-            if key in seen:
-                stats.thread_dedup_hits += 1
-                continue
-            seen.add(key)
-        expanded += 1
-        stats.thread_enumeration_states += 1
-        if expanded > max_states:
-            stats.truncated = True
-            break
+
+    def expand(node: tuple[Stmt, TState]) -> list[tuple[Stmt, TState]]:
+        cur_stmt, cur_ts = node
         if is_terminated(cur_stmt) and not cur_ts.prom:
             results.add(tuple(sorted(cur_ts.register_values().items())))
-            continue
-        for step in non_promise_steps(cur_stmt, cur_ts, memory, arch, tid):
-            stack.append((step.stmt, step.tstate))
+            return []
+        return [
+            (step.stmt, step.tstate)
+            for step in non_promise_steps(cur_stmt, cur_ts, memory, arch, tid)
+        ]
+
+    key_fn = None
+    if pool is not None:
+        key_fn = lambda node: (node[0], pool.tstates.intern(node[1].cache_key()))  # noqa: E731
+    kernel = SearchKernel(
+        expand, strategy=DepthFirst(), max_states=max_states, key_fn=key_fn
+    )
+    kernel.run([(stmt, ts)])
+    stats.thread_enumeration_states += kernel.stats.states
+    stats.thread_dedup_hits += kernel.stats.dedup_hits
+    if kernel.stats.truncated:
+        stats.truncated = True
     return results
 
 
 def explore(program: Program, config: Optional[ExploreConfig] = None) -> ExplorationResult:
-    """Exhaustively enumerate the outcomes of ``program`` (promise-first)."""
+    """Enumerate the outcomes of ``program`` (promise-first).
+
+    Exhaustive under the ``dfs``/``bfs`` strategies; a sound sample of
+    the outcome set under ``sample``.
+    """
     config = config or ExploreConfig()
     start = time.perf_counter()
     stats = ExplorationStats()
@@ -213,22 +221,11 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
         CertificationCache(arch, config.cert_fuel) if config.cert_memo else None
     )
 
-    visited: set[tuple] = set()
     # Memoise per-thread completion enumeration across final-memory states:
     # different promise interleavings frequently reconverge.
     completion_cache: dict[tuple, set[tuple]] = {}
 
-    stack: list[MachineState] = [initial]
-    if pool is not None:
-        visited.add(initial.cache_key(pool))
-
-    while stack:
-        state = stack.pop()
-        stats.promise_states += 1
-        if stats.promise_states > config.max_states:
-            stats.truncated = True
-            break
-
+    def expand(state: MachineState) -> list[MachineState]:
         per_thread = []
         can_finish = []
         for tid, thread in enumerate(state.threads):
@@ -297,19 +294,25 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
             # (possible for ARM store exclusives, §4.3).
             stats.deadlocked_states += 1
 
+        successors: list[MachineState] = []
         for tid, cert in enumerate(per_thread):
             thread = state.threads[tid]
             for msg in cert.promises:
-                stats.promise_transitions += 1
                 step = promise_step(thread.stmt, thread.tstate, state.memory, msg)
-                succ = state.replace_thread(tid, step)
-                if pool is not None:
-                    key = succ.cache_key(pool)
-                    if key in visited:
-                        stats.dedup_hits += 1
-                        continue
-                    visited.add(key)
-                stack.append(succ)
+                successors.append(state.replace_thread(tid, step))
+        return successors
+
+    kernel = SearchKernel(
+        expand,
+        strategy=strategy_for(config),
+        max_states=config.max_states,
+        deadline_seconds=config.deadline_seconds,
+        key_fn=(lambda s: s.cache_key(pool)) if pool is not None else None,
+    )
+    kernel.run([initial])
+    stats.promise_states += kernel.stats.states
+    stats.promise_transitions += kernel.stats.transitions
+    kernel.finish(stats)
 
     _finalise_stats(stats, pool, cert_cache)
     stats.elapsed_seconds = time.perf_counter() - start
@@ -359,7 +362,9 @@ def explore_naive(program: Program, config: Optional[ExploreConfig] = None) -> E
 
     Exponentially more states than :func:`explore`; used to validate the
     promise-first strategy (both must return the same outcome set) and as
-    the baseline of the ablation benchmark.
+    the baseline of the ablation benchmark.  Under ``sample`` this is the
+    litmus-style statistical runner: each walk is one random interleaving
+    of certified machine steps, run to a final (or stuck) state.
     """
     config = config or ExploreConfig()
     start = time.perf_counter()
@@ -373,31 +378,27 @@ def explore_naive(program: Program, config: Optional[ExploreConfig] = None) -> E
     cert_cache = (
         CertificationCache(config.arch, config.cert_fuel) if config.cert_memo else None
     )
-    visited: set[tuple] = set()
-    if pool is not None:
-        visited.add(initial.cache_key(pool))
-    stack = [initial]
-    while stack:
-        state = stack.pop()
-        stats.promise_states += 1
-        if stats.promise_states > config.max_states:
-            stats.truncated = True
-            break
+
+    def expand(state: MachineState) -> list[MachineState]:
         if state.is_final:
             outcomes.add(state.outcome())
-            continue
+            return []
         transitions = machine_transitions(state, config.cert_fuel, cert_cache=cert_cache)
         if not transitions and state.has_outstanding_promises:
             stats.deadlocked_states += 1
-        for transition in transitions:
-            stats.promise_transitions += 1
-            if pool is not None:
-                key = transition.state.cache_key(pool)
-                if key in visited:
-                    stats.dedup_hits += 1
-                    continue
-                visited.add(key)
-            stack.append(transition.state)
+        return [transition.state for transition in transitions]
+
+    kernel = SearchKernel(
+        expand,
+        strategy=strategy_for(config),
+        max_states=config.max_states,
+        deadline_seconds=config.deadline_seconds,
+        key_fn=(lambda s: s.cache_key(pool)) if pool is not None else None,
+    )
+    kernel.run([initial])
+    stats.promise_states += kernel.stats.states
+    stats.promise_transitions += kernel.stats.transitions
+    kernel.finish(stats)
 
     _finalise_stats(stats, pool, cert_cache)
     stats.elapsed_seconds = time.perf_counter() - start

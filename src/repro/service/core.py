@@ -81,6 +81,10 @@ class ServiceConfig:
     loop_bound_limit: int = 4
     #: Hard ceiling on any requested ``max_states`` budget.
     max_states_limit: int = 5_000_000
+    #: Hard ceilings on the random walks one ``sample``-strategy job runs
+    #: and on the step bound of each walk.
+    max_samples_limit: int = 65_536
+    max_sample_depth_limit: int = 65_536
     #: Largest accepted litmus source, in bytes.
     max_source_bytes: int = 65_536
     #: Most jobs (models) a single request may expand into.
@@ -94,6 +98,9 @@ class ServiceStats:
     """Counters surfaced by ``/stats`` (and asserted by the tests)."""
 
     started_unix: float = field(default_factory=time.time)
+    #: Uptime is a *duration*, so it is measured against the monotonic
+    #: clock — an NTP step of the wall clock must never move it.
+    started_monotonic: float = field(default_factory=time.monotonic)
     requests: int = 0
     bad_requests: int = 0
     jobs: int = 0
@@ -241,6 +248,35 @@ class ExplorationService:
         ):
             raise ServiceError(f"'max_states' must be an int in 1..{self.config.max_states_limit}")
 
+        from ..explore import STRATEGIES
+
+        strategy = options.get("strategy", "dfs")
+        if strategy not in STRATEGIES:
+            raise ServiceError(
+                f"unknown strategy {strategy!r}; choose from {', '.join(STRATEGIES)}"
+            )
+        # bool is an int subclass; reject it so `"samples": true` and
+        # friends fail loudly instead of running one walk.
+        samples = options.get("samples", 256)
+        if (
+            not isinstance(samples, int)
+            or isinstance(samples, bool)
+            or not 1 <= samples <= self.config.max_samples_limit
+        ):
+            raise ServiceError(f"'samples' must be an int in 1..{self.config.max_samples_limit}")
+        sample_depth = options.get("sample_depth", 4096)
+        if (
+            not isinstance(sample_depth, int)
+            or isinstance(sample_depth, bool)
+            or not 1 <= sample_depth <= self.config.max_sample_depth_limit
+        ):
+            raise ServiceError(
+                f"'sample_depth' must be an int in 1..{self.config.max_sample_depth_limit}"
+            )
+        seed = options.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ServiceError("'seed' must be an integer")
+
         models = payload.get("models", ["promising"])
         if isinstance(models, str):
             models = [m.strip() for m in models.split(",") if m.strip()]
@@ -296,11 +332,21 @@ class ExplorationService:
             if arch is None:
                 arch = Arch.ARM
 
-        explore_config = ExploreConfig(loop_bound=loop_bound)
-        flat_config = FlatConfig(loop_bound=loop_bound)
+        search_kwargs = dict(
+            loop_bound=loop_bound,
+            strategy=strategy,
+            samples=samples,
+            sample_depth=sample_depth,
+            seed=seed,
+        )
         if max_states is not None:
-            explore_config = ExploreConfig(loop_bound=loop_bound, max_states=max_states)
-            flat_config = FlatConfig(loop_bound=loop_bound, max_states=max_states)
+            search_kwargs["max_states"] = max_states
+        # Strategy and sampling knobs are ordinary config fields, so they
+        # enter each job's fingerprint: a sampled run caches, coalesces,
+        # and LRU-serves under its own key, never shadowing an exhaustive
+        # result for the same test.
+        explore_config = ExploreConfig(**search_kwargs)
+        flat_config = FlatConfig(**search_kwargs)
         jobs = [
             Job(
                 test=test,
@@ -521,7 +567,7 @@ class ExplorationService:
     def healthz(self) -> dict:
         return {
             "status": "ok" if self._running else "stopping",
-            "uptime_seconds": time.time() - self.stats.started_unix,
+            "uptime_seconds": time.monotonic() - self.stats.started_monotonic,
             "workers": self.config.workers,
             "pool": "resident" if self._pool is not None else "inline",
         }
@@ -532,7 +578,7 @@ class ExplorationService:
         latencies = list(stats.latencies)
         served_without_execution = stats.lru_hits + stats.disk_hits + stats.coalesced
         return {
-            "uptime_seconds": time.time() - stats.started_unix,
+            "uptime_seconds": time.monotonic() - stats.started_monotonic,
             "requests": stats.requests,
             "bad_requests": stats.bad_requests,
             "jobs": stats.jobs,

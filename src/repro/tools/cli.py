@@ -49,6 +49,15 @@ def _arch(name: str) -> Arch:
     return parse_arch(name) or Arch.ARM
 
 
+def _positive_int(text: str) -> int:
+    # Reject out-of-range sampling knobs at parse time (exit 2) instead
+    # of letting RandomWalks raise a traceback mid-exploration.
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def _load_test(args: argparse.Namespace):
     if args.file:
         text = Path(args.file).read_text()
@@ -57,12 +66,29 @@ def _load_test(args: argparse.Namespace):
     return get_test(args.test), _arch(args.arch)
 
 
-def _explore_config(args: argparse.Namespace) -> ExploreConfig:
-    return ExploreConfig(
+def _search_kwargs(args: argparse.Namespace) -> dict:
+    """Kernel-level knobs shared by every explorer config the CLI builds."""
+    return dict(
         loop_bound=args.loop_bound,
         dedup=not getattr(args, "no_dedup", False),
-        cert_memo=not getattr(args, "no_cert_memo", False),
+        strategy=getattr(args, "strategy", "dfs"),
+        samples=getattr(args, "samples", 256),
+        sample_depth=getattr(args, "sample_depth", 4096),
+        seed=getattr(args, "seed", 0),
     )
+
+
+def _explore_config(args: argparse.Namespace) -> ExploreConfig:
+    return ExploreConfig(
+        cert_memo=not getattr(args, "no_cert_memo", False),
+        **_search_kwargs(args),
+    )
+
+
+def _flat_config(args: argparse.Namespace) -> "FlatConfig":
+    from ..flat import FlatConfig
+
+    return FlatConfig(**_search_kwargs(args))
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -74,6 +100,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     verdict = result.verdict.value
     if result.truncated:
         verdict += "  (WARNING: exploration truncated, verdict unverified)"
+    elif result.stats.get("strategy") == "sample":
+        verdict += "  (sampled: under-approximation, 'forbidden' unverified)"
     print(f"verdict   : {verdict}")
     if result.stats:
         counters = ", ".join(
@@ -82,13 +110,30 @@ def cmd_run(args: argparse.Namespace) -> int:
             if k in result.stats
         )
         print(f"stats     : {counters}")
+        if result.stats.get("strategy") == "sample":
+            print(
+                f"sampling  : {result.stats.get('samples_run', 0)} walks, "
+                f"{result.stats.get('unique_sample_states', 0)} unique states, "
+                f"coverage est. {result.stats.get('coverage_estimate')}"
+            )
     print(f"time      : {result.elapsed_seconds:.3f}s")
     print("final states:")
     print("  " + result.outcomes.describe(test.program.loc_names).replace("\n", "\n  "))
     if args.axiomatic:
         ax = run_axiomatic(test, arch)
-        agree = set(ax.outcomes) == set(result.outcomes)
-        print(f"axiomatic verdict: {ax.verdict.value} (outcome sets {'agree' if agree else 'DIFFER'})")
+        if result.stats.get("strategy") == "sample":
+            # A sample is a sound under-approximation: containment is the
+            # strongest checkable relation (equality would cry wolf on
+            # every outcome the walks happened to miss).
+            contained = set(result.outcomes) <= set(ax.outcomes)
+            relation = "contained in axiomatic" if contained else "NOT CONTAINED in axiomatic"
+            print(f"axiomatic verdict: {ax.verdict.value} (sampled outcomes {relation})")
+        else:
+            agree = set(ax.outcomes) == set(result.outcomes)
+            print(
+                f"axiomatic verdict: {ax.verdict.value} "
+                f"(outcome sets {'agree' if agree else 'DIFFER'})"
+            )
     return 0
 
 
@@ -129,7 +174,12 @@ def cmd_agreement(args: argparse.Namespace) -> int:
     arch = _arch(args.arch)
     tests = generate_battery(max_tests=args.max_tests)
     report = check_agreement(
-        tests, arch, workers=args.workers, cache=args.cache_dir, timeout=args.timeout
+        tests,
+        arch,
+        _explore_config(args),
+        workers=args.workers,
+        cache=args.cache_dir,
+        timeout=args.timeout,
     )
     print(report.describe())
     return 0 if not report.disagreements else 1
@@ -149,7 +199,6 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.catalogue:
         tests = tests + [t for t in all_tests() if t.program.n_threads <= 3]
     from ..axiomatic import AxiomaticConfig
-    from ..flat import FlatConfig
 
     sweep = run_sweep(
         tests,
@@ -161,7 +210,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         report_path=args.report,
         explore_config=_explore_config(args),
         axiomatic_config=AxiomaticConfig(loop_bound=args.loop_bound),
-        flat_config=FlatConfig(loop_bound=args.loop_bound, dedup=not args.no_dedup),
+        flat_config=_flat_config(args),
     )
     print(sweep.describe())
     if args.report:
@@ -204,7 +253,6 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             )
             return 2
     from ..axiomatic import AxiomaticConfig
-    from ..flat import FlatConfig
 
     tests = generate_cycle_battery(
         families=families, max_tests=args.max_tests, max_per_family=args.max_per_family
@@ -242,7 +290,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             report_path=args.report,
             explore_config=_explore_config(args),
             axiomatic_config=AxiomaticConfig(loop_bound=args.loop_bound),
-            flat_config=FlatConfig(loop_bound=args.loop_bound, dedup=not args.no_dedup),
+            flat_config=_flat_config(args),
         )
     print(fuzz.describe())
     if args.report:
@@ -270,12 +318,24 @@ def build_parser() -> argparse.ArgumentParser:
         prog="promising-arm",
         description="Promising-ARM/RISC-V exhaustive and interactive exploration tool",
     )
+    from ..explore import STRATEGIES
+
     parser.add_argument("--arch", default="arm", help="arm (default) or riscv")
     parser.add_argument("--loop-bound", type=int, default=2, help="loop unrolling bound")
     parser.add_argument("--no-dedup", action="store_true",
                         help="disable state deduplication (ablation; slower, same outcomes)")
     parser.add_argument("--no-cert-memo", action="store_true",
                         help="disable certification memoisation (ablation)")
+    parser.add_argument("--strategy", choices=STRATEGIES, default="dfs",
+                        help="search strategy: dfs/bfs enumerate exhaustively, "
+                             "sample runs seeded bounded random walks "
+                             "(sound under-approximation for huge state spaces)")
+    parser.add_argument("--samples", type=_positive_int, default=256,
+                        help="random walks performed by --strategy sample")
+    parser.add_argument("--sample-depth", type=_positive_int, default=4096,
+                        help="step bound of one random walk before restart")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="PRNG seed of --strategy sample (same seed, same outcomes)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="exhaustively explore a litmus test")

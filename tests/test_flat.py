@@ -76,3 +76,40 @@ def test_flat_truncation_reported():
     test = get_test("MP")
     result = explore_flat(test.program, FlatConfig(max_states=1))
     assert result.stats.truncated
+
+
+def test_restart_squashing_an_exclusive_load_clears_the_reservation():
+    """A mis-speculated LDAXR must take its monitor with it (PR 5 bugfix).
+
+    T1's branch is never taken (y stays 0), but its speculated path
+    contains a second load-exclusive of x.  If that squashed load's
+    reservation survived the restart, T1's store-exclusive could pair
+    with a load that architecturally never happened and *succeed* across
+    T0's intervening write — observable as x=5 with r0=0, an outcome the
+    promising reference forbids (found by random-walk sampling of the
+    3-thread CAS spinlock, where it manifests as a mutual-exclusion
+    violation).
+    """
+    from repro.lang.kinds import VSUCC
+    from repro.promising import ExploreConfig, explore
+
+    env = LocationEnv()
+    x, y = env["x"], env["y"]
+    t0 = store(x, 7)
+    t1 = seq(
+        load("r0", x, exclusive=True),
+        load("r1", y),
+        if_(R("r1").eq(1), load("r2", x, exclusive=True)),
+        store(x, 5, exclusive=True, succ_reg="rs"),
+    )
+    program = make_program([t0, t1], env=env)
+
+    def non_atomic_sc(outcome):
+        # STXR claims success and its write survives, yet its paired
+        # LDAXR read the initial memory from before T0's write.
+        return outcome.mem(x) == 5 and outcome.reg(1, "r0") == 0 and outcome.reg(1, "rs") == VSUCC
+
+    flat = explore_flat(program, FlatConfig())
+    assert not any(non_atomic_sc(o) for o in flat.outcomes)
+    promising = explore(program, ExploreConfig(shared_locations=(x, y)))
+    assert not any(non_atomic_sc(o) for o in promising.outcomes)

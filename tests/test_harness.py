@@ -313,14 +313,16 @@ class TestCache:
 
 REPORT_KEYS = {
     "schema_version", "name", "generated_unix", "n_jobs", "models", "archs",
-    "status_counts", "truncated_jobs", "dedup", "ok", "cache",
-    "compute_seconds", "wall_seconds", "mismatches", "jobs",
+    "status_counts", "truncated_jobs", "sampled_jobs", "strategies",
+    "dedup", "ok", "cache", "compute_seconds", "wall_seconds", "mismatches",
+    "jobs",
 }
 
 JOB_ENTRY_KEYS = {
     "name", "model", "arch", "status", "verdict", "expected",
     "matches_expectation", "n_outcomes", "outcome_digest", "elapsed_seconds",
-    "cached", "truncated", "warning", "error", "fingerprint", "stats",
+    "cached", "truncated", "strategy", "sampled", "samples",
+    "coverage_estimate", "warning", "error", "fingerprint", "stats",
 }
 
 
