@@ -26,6 +26,11 @@
 # exploration truncates, writing the coverage-vs-samples curve to
 # BENCH_sample.json.
 #
+# The obs stage (scripts/bench_obs.py) measures instrumentation overhead:
+# the same serial sweep with the metrics/tracing layer live vs under
+# REPRO_OBS_DISABLED=1, writing the ratio to BENCH_obs.json (the ≤5%
+# bound is enforced by scripts/check_bench_regression.py).
+#
 # Knobs: SWEEP_TESTS (battery size), SWEEP_WORKERS, SWEEP_MODELS,
 #        FUZZ_PER_FAMILY (fuzz corpus bound per cycle family), FUZZ_MODELS,
 #        SERVICE_REQUESTS (warm served requests in the service stage).
@@ -119,3 +124,6 @@ print(f"dedup-on vs dedup-off (completing pairs): {agg['speedup']}x "
 print(f"interleaved explorers (naive/flat): {report['interleaved_explorers_speedup']}x")
 EOF
 echo "report written to BENCH_dedup.json"
+
+echo "== observability overhead (instrumented vs REPRO_OBS_DISABLED=1; writes BENCH_obs.json) =="
+python scripts/bench_obs.py

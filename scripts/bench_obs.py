@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Measure observability overhead on the tracked sweep; write BENCH_obs.json.
+
+Two legs, each a fresh subprocess running the same serial sweep workload
+in-process (interpreter start-up excluded from the timed region):
+
+* **instrumented** — the default: metrics registry, phase accumulators,
+  spans, and structured logging all live;
+* **baseline** — the same workload under ``REPRO_OBS_DISABLED=1``, which
+  swaps every instrument for a shared no-op at import time.
+
+Each leg repeats ``--repeats`` times; the *minimum* wall time per leg is
+compared (minima are the standard low-noise estimator for a deterministic
+CPU-bound workload).  The recorded claim — instrumented/baseline within
+``--bound`` (default 1.05, i.e. ≤5% overhead) — is what
+``scripts/check_bench_regression.py`` enforces against the committed
+artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_obs.py [--tests 24] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Workload run by one leg, inside a fresh interpreter.  Prints one JSON
+#: line with the in-process wall time of the sweep itself.
+_CHILD = """\
+import json, sys, time
+from repro.harness import run_sweep
+from repro.lang.kinds import Arch
+from repro.litmus import generate_battery
+
+n_tests, workers = int(sys.argv[1]), int(sys.argv[2])
+models = tuple(sys.argv[3].split(","))
+tests = generate_battery(max_tests=n_tests)
+start = time.monotonic()
+sweep = run_sweep(tests, models, Arch.ARM, workers=workers, name="bench-obs")
+elapsed = time.monotonic() - start
+print(json.dumps({"seconds": elapsed, "ok": sweep.ok, "n_jobs": len(sweep.jobs)}))
+"""
+
+
+def run_leg(args: argparse.Namespace, disabled: bool) -> tuple[float, int]:
+    """One timed subprocess run; returns (seconds, n_jobs)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if disabled:
+        env["REPRO_OBS_DISABLED"] = "1"
+    else:
+        env.pop("REPRO_OBS_DISABLED", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(args.tests), str(args.workers), args.models],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=REPO_ROOT,
+    )
+    payload = json.loads(proc.stdout.strip().splitlines()[-1])
+    if not payload["ok"]:
+        raise SystemExit(f"bench sweep reported failures (disabled={disabled})")
+    return payload["seconds"], payload["n_jobs"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tests", type=int, default=64, help="generated battery size")
+    parser.add_argument("--models", default="promising,axiomatic,flat,promising-naive")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="sweep workers (1 = serial, the low-noise default)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="runs per leg; the minimum is compared")
+    parser.add_argument("--bound", type=float, default=1.05,
+                        help="recorded overhead bound (instrumented/baseline)")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_obs.json"))
+    args = parser.parse_args(argv)
+
+    legs: dict[str, list[float]] = {"baseline": [], "instrumented": []}
+    n_jobs = 0
+    for repeat in range(args.repeats):
+        # Alternate legs within each repeat so drift (thermal, noisy
+        # neighbours) hits both sides alike.
+        for name, disabled in (("baseline", True), ("instrumented", False)):
+            seconds, n_jobs = run_leg(args, disabled)
+            legs[name].append(seconds)
+            print(f"repeat {repeat + 1}/{args.repeats} {name:13s}: {seconds:.3f}s")
+
+    baseline = min(legs["baseline"])
+    instrumented = min(legs["instrumented"])
+    ratio = instrumented / baseline if baseline else float("inf")
+    report = {
+        "schema_version": 1,
+        "name": "obs-overhead",
+        "generated_unix": int(time.time()),
+        "tests": args.tests,
+        "models": args.models.split(","),
+        "workers": args.workers,
+        "n_jobs": n_jobs,
+        "repeats": args.repeats,
+        "baseline_seconds": round(baseline, 4),
+        "instrumented_seconds": round(instrumented, 4),
+        "overhead_ratio": round(ratio, 4),
+        "bound": args.bound,
+        "runs": {name: [round(s, 4) for s in times] for name, times in legs.items()},
+        "claims": {"overhead_within_bound": ratio <= args.bound},
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"baseline {baseline:.3f}s  instrumented {instrumented:.3f}s  "
+        f"overhead {100 * (ratio - 1):+.1f}% (bound {100 * (args.bound - 1):.0f}%)"
+    )
+    print(f"report written to {args.output}")
+    return 0 if ratio <= args.bound else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,13 @@ by default), then compares the fresh results job-by-job:
   exhaustive counterpart.  Regeneration is
   ``benchmarks/test_sample_scaling.py``'s job (via ``bench.sh``).
 
+* **Observability artifact** — the committed ``BENCH_obs.json`` must
+  parse against the obs-overhead schema and record an
+  instrumented-vs-disabled overhead ratio within
+  ``--max-obs-overhead`` (default 1.05, i.e. ≤5%) with its own claim
+  flag set.  Regeneration is ``scripts/bench_obs.py``'s job (via
+  ``bench.sh``).
+
 Exit status: 0 clean, 1 regression found, 2 usage/baseline problems.
 
 Run it locally after touching an explorer::
@@ -120,6 +127,22 @@ def parse_args(argv: list[str] | None) -> argparse.Namespace:
         "--skip-sample",
         action="store_true",
         help="skip BENCH_sample.json validation entirely",
+    )
+    parser.add_argument(
+        "--obs-baseline",
+        default=str(REPO_ROOT / "BENCH_obs.json"),
+        help="tracked observability-overhead report to schema-validate",
+    )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=1.05,
+        help="highest acceptable recorded instrumented/baseline ratio",
+    )
+    parser.add_argument(
+        "--skip-obs",
+        action="store_true",
+        help="skip BENCH_obs.json validation entirely",
     )
     return parser.parse_args(argv)
 
@@ -276,6 +299,70 @@ def validate_sample_report(path: Path) -> list[str]:
     return failures
 
 
+#: ``BENCH_obs.json`` required layout, in lockstep with
+#: ``scripts/bench_obs.py``.
+OBS_SCHEMA = {
+    "schema_version": None,
+    "name": None,
+    "generated_unix": None,
+    "tests": None,
+    "models": None,
+    "repeats": None,
+    "baseline_seconds": None,
+    "instrumented_seconds": None,
+    "overhead_ratio": None,
+    "bound": None,
+    "runs": ("baseline", "instrumented"),
+    "claims": ("overhead_within_bound",),
+}
+
+
+def validate_obs_report(path: Path, max_overhead: float) -> list[str]:
+    """Schema + recorded-claims validation of ``BENCH_obs.json``."""
+    failures: list[str] = []
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"obs baseline {path} unreadable: {exc}"]
+    if not isinstance(report, dict):
+        return [f"obs baseline {path} is not a JSON object"]
+    for key, subkeys in OBS_SCHEMA.items():
+        if key not in report:
+            failures.append(f"obs baseline missing key {key!r}")
+            continue
+        if subkeys is None:
+            continue
+        block = report[key]
+        if not isinstance(block, dict):
+            failures.append(f"obs baseline {key!r} must be an object")
+            continue
+        for subkey in subkeys:
+            if subkey not in block:
+                failures.append(f"obs baseline missing {key}.{subkey}")
+    if failures:
+        return failures
+    ratio = report["overhead_ratio"]
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        failures.append(f"obs overhead_ratio must be a positive number, got {ratio!r}")
+    elif ratio > max_overhead:
+        failures.append(
+            f"observability overhead {100 * (ratio - 1):.1f}% exceeds the "
+            f"{100 * (max_overhead - 1):.0f}% bound — instrumentation got too "
+            "expensive (or the artifact needs regenerating on a quiet machine)"
+        )
+    if report["claims"]["overhead_within_bound"] is not True:
+        failures.append("obs baseline claim overhead_within_bound must be true")
+    for field in ("baseline_seconds", "instrumented_seconds"):
+        value = report[field]
+        if not isinstance(value, (int, float)) or value <= 0:
+            failures.append(f"obs {field} must be a positive number")
+    for leg in ("baseline", "instrumented"):
+        times = report["runs"][leg]
+        if not isinstance(times, list) or len(times) != report["repeats"]:
+            failures.append(f"obs runs.{leg} must record one time per repeat")
+    return failures
+
+
 def family(name: str) -> str:
     return name.split("+")[0]
 
@@ -352,6 +439,20 @@ def main(argv: list[str] | None = None) -> int:
         else:
             failures.append(f"sample baseline not found: {sample_path}")
             print(f"sample   : {sample_path} MISSING")
+
+    # -- observability artifact --------------------------------------------
+    if not args.skip_obs:
+        obs_path = Path(args.obs_baseline)
+        if obs_path.exists():
+            obs_failures = validate_obs_report(obs_path, args.max_obs_overhead)
+            failures.extend(obs_failures)
+            print(
+                f"obs      : {obs_path} "
+                f"({'OK' if not obs_failures else f'{len(obs_failures)} problem(s)'})"
+            )
+        else:
+            failures.append(f"obs baseline not found: {obs_path}")
+            print(f"obs      : {obs_path} MISSING")
 
     # -- semantic comparison ----------------------------------------------
     compared = 0

@@ -26,7 +26,35 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
+from ..obs import metrics
 from .strategy import Strategy, is_exhaustive
+
+# Flushed once per kernel run — the inner loop touches only KernelStats'
+# plain ints, so instrumentation cost is O(1) per search, not per state.
+_KERNEL_RUNS = metrics.counter(
+    "kernel_runs_total", "SearchKernel runs completed.", labels=("strategy",)
+)
+_KERNEL_STATES = metrics.counter(
+    "kernel_states_total", "States visited across all kernel runs.", labels=("strategy",)
+)
+_KERNEL_TRANSITIONS = metrics.counter(
+    "kernel_transitions_total", "Transitions enumerated across all kernel runs.",
+    labels=("strategy",),
+)
+_KERNEL_DEDUP_HITS = metrics.counter(
+    "kernel_dedup_hits_total", "Visited-set hits across all kernel runs.",
+    labels=("strategy",),
+)
+_KERNEL_TRUNCATIONS = metrics.counter(
+    "kernel_truncations_total", "Kernel runs cut short, by cause.", labels=("cause",)
+)
+_KERNEL_RUN_SECONDS = metrics.histogram(
+    "kernel_run_seconds", "Wall time per kernel run.", labels=("strategy",)
+)
+_KERNEL_STATES_PER_SECOND = metrics.gauge(
+    "kernel_states_per_second", "Throughput of the most recent kernel run.",
+    labels=("strategy",),
+)
 
 
 @dataclass
@@ -161,10 +189,26 @@ class SearchKernel:
 
     def run(self, roots: Sequence) -> KernelStats:
         """Search from ``roots`` until exhaustion or a budget trips."""
+        start = time.perf_counter()
         if self.deadline_seconds is not None:
             self._deadline = time.monotonic() + self.deadline_seconds
         self.strategy.search(self, roots)
+        self._record_metrics(time.perf_counter() - start)
         return self.stats
+
+    def _record_metrics(self, elapsed: float) -> None:
+        """Flush this run's counters to the metrics registry (once)."""
+        name = self.strategy.name
+        _KERNEL_RUNS.inc(strategy=name)
+        _KERNEL_STATES.inc(self.stats.states, strategy=name)
+        _KERNEL_TRANSITIONS.inc(self.stats.transitions, strategy=name)
+        _KERNEL_DEDUP_HITS.inc(self.stats.dedup_hits, strategy=name)
+        if self.stats.truncated:
+            cause = "deadline" if self.stats.deadline_hit else "max_states"
+            _KERNEL_TRUNCATIONS.inc(cause=cause)
+        _KERNEL_RUN_SECONDS.observe(elapsed, strategy=name)
+        if elapsed > 0:
+            _KERNEL_STATES_PER_SECOND.set(self.stats.states / elapsed, strategy=name)
 
     def finish(self, stats: SearchStats) -> None:
         """Fold the kernel counters into an explorer's stats object."""

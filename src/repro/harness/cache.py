@@ -21,8 +21,21 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
 
+from ..obs import metrics
 from ..outcomes import OutcomeSet
 from .jobs import Job, JobResult, STATUS_OK, result_from_json, result_to_json
+
+# One shared vocabulary for every cache tier: the disk cache here, the
+# LRU below, and the service's in-flight coalescing all label the same
+# two counters (layer="disk"|"lru"|"coalesced").
+CACHE_REQUESTS = metrics.counter(
+    "cache_requests_total", "Cache lookups by layer and outcome.",
+    labels=("layer", "outcome"),
+)
+CACHE_STORES = metrics.counter(
+    "cache_stores_total", "Cache stores by layer and outcome.",
+    labels=("layer", "outcome"),
+)
 
 
 class ResultCache:
@@ -55,6 +68,7 @@ class ResultCache:
             # Unreadable, schema-drifted, or mismatched entries are
             # misses; the next store overwrites them.
             self.misses += 1
+            CACHE_REQUESTS.inc(layer="disk", outcome="miss")
             return None
         # Name and expected verdict are deliberately outside the
         # fingerprint (they don't affect the computed outcome set), so a
@@ -64,6 +78,7 @@ class ResultCache:
         result.expected = job.test.expected_verdict(job.arch)
         result.cached = True
         self.hits += 1
+        CACHE_REQUESTS.inc(layer="disk", outcome="hit")
         return result
 
     # -- store ---------------------------------------------------------------
@@ -71,6 +86,7 @@ class ResultCache:
         """Persist an ``ok`` result (errors and timeouts are not cached:
         they depend on machine load and deadlines, not on the job)."""
         if result.status != STATUS_OK:
+            CACHE_STORES.inc(layer="disk", outcome="rejected")
             return False
         fingerprint = result.fingerprint or job.fingerprint()
         entry = self._entry_path(fingerprint)
@@ -88,11 +104,13 @@ class ResultCache:
             # that already holds its results in memory; the entry is not
             # persisted, but the failure is counted and reported.
             self.store_failures += 1
+            CACHE_STORES.inc(layer="disk", outcome="failure")
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
             return False
+        CACHE_STORES.inc(layer="disk", outcome="stored")
         return True
 
     # -- maintenance ---------------------------------------------------------
@@ -147,9 +165,11 @@ class LruResultCache:
         entry = self._entries.get(fingerprint)
         if entry is None:
             self.misses += 1
+            CACHE_REQUESTS.inc(layer="lru", outcome="miss")
             return None
         self._entries.move_to_end(fingerprint)
         self.hits += 1
+        CACHE_REQUESTS.inc(layer="lru", outcome="hit")
         return dataclasses.replace(
             entry,
             name=job.test.name,
@@ -163,6 +183,7 @@ class LruResultCache:
         """Admit an ``ok`` result, evicting the least-recently-used entry
         beyond capacity; returns whether the result was stored."""
         if result.status != STATUS_OK:
+            CACHE_STORES.inc(layer="lru", outcome="rejected")
             return False
         fingerprint = result.fingerprint or job.fingerprint()
         # Defensive copy, including the mutable outcome set: callers
@@ -177,6 +198,8 @@ class LruResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            CACHE_STORES.inc(layer="lru", outcome="evicted")
+        CACHE_STORES.inc(layer="lru", outcome="stored")
         return True
 
     def __len__(self) -> int:
@@ -203,4 +226,4 @@ def open_cache(cache: Union[None, str, Path, ResultCache]) -> Optional[ResultCac
     return ResultCache(cache)
 
 
-__all__ = ["LruResultCache", "ResultCache", "open_cache"]
+__all__ = ["CACHE_REQUESTS", "CACHE_STORES", "LruResultCache", "ResultCache", "open_cache"]

@@ -35,7 +35,11 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 from ..axiomatic.model import AxiomaticConfig
 from ..flat.explorer import FlatConfig
 from ..lang.kinds import Arch
+from ..obs.logging import get_logger, log_event
+from ..obs.tracing import span
 from ..promising.exhaustive import ExploreConfig
+
+_log = get_logger("harness.fuzz")
 
 if TYPE_CHECKING:  # litmus imports harness (runner); keep ours lazy.
     from ..litmus.test import LitmusTest
@@ -302,9 +306,19 @@ def run_fuzz(
         axiomatic_config=axiomatic_config,
         flat_config=flat_config,
     )
+    families_of_corpus = sorted(
+        {t.description.split(":")[0].removeprefix("cycle ") for t in tests if t.description}
+    )
+    log_event(
+        _log, "fuzz started",
+        fuzz=name, corpus_size=len(tests), n_jobs=len(jobs),
+        families=families_of_corpus, models=sorted(set(models)),
+        archs=[arch.value for arch in archs], workers=workers,
+    )
     stats = BatchStats()
     start = time.perf_counter()
-    results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache, stats=stats)
+    with span("fuzz", name=name, jobs=len(jobs)):
+        results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache, stats=stats)
     wall = time.perf_counter() - start
 
     counterexamples, explained = differential_mismatches(jobs, results)
@@ -313,9 +327,7 @@ def run_fuzz(
         model_seconds[result.model] = (
             model_seconds.get(result.model, 0.0) + result.elapsed_seconds
         )
-    families_seen = sorted(
-        {t.description.split(":")[0].removeprefix("cycle ") for t in tests if t.description}
-    )
+    families_seen = families_of_corpus
     report = build_report(
         jobs,
         results,
@@ -340,6 +352,12 @@ def run_fuzz(
     report["ok"] = report["ok"] and not counterexamples
     if report_path is not None:
         write_report(report, report_path)
+    log_event(
+        _log, "fuzz finished",
+        fuzz=name, n_jobs=len(jobs), seconds=round(wall, 3),
+        statuses=dict(stats.statuses), counterexamples=len(counterexamples),
+        explained_differences=explained,
+    )
     return FuzzResult(jobs=jobs, results=results, report=report, stats=stats, wall_seconds=wall)
 
 

@@ -29,8 +29,18 @@ from ..axiomatic.model import AxiomaticConfig, enumerate_axiomatic_outcomes
 from ..flat.explorer import FlatConfig, explore_flat
 from ..lang.kinds import Arch
 from ..lang.program import Loc, Program, TId
+from ..obs import metrics
+from ..obs.logging import bind
 from ..outcomes import Outcome, OutcomeSet
 from ..promising.exhaustive import ExploreConfig, explore, explore_naive
+
+_JOBS_EXECUTED = metrics.counter(
+    "jobs_executed_total", "Jobs run through execute_job, by model and status.",
+    labels=("model", "status"),
+)
+_JOB_SECONDS = metrics.histogram(
+    "job_execute_seconds", "Wall time per executed job.", labels=("model",)
+)
 
 if TYPE_CHECKING:  # litmus imports harness (runner); keep ours lazy.
     from ..litmus.test import LitmusTest, Verdict
@@ -250,6 +260,15 @@ class JobResult:
     error: str = ""
     fingerprint: str = ""
     cached: bool = False
+    # Transport-only observability fields.  Deliberately excluded from
+    # result_to_json (cache entries and reports stay deterministic and
+    # replay-free): a recalled result must never re-merge old metrics.
+    #: Seconds this job waited between scheduling and execution start
+    #: (set by the pool path; ``None`` when not measured).
+    queue_seconds: Optional[float] = None
+    #: Metrics-registry delta accumulated while executing this job in a
+    #: worker process; the parent merges it and clears the field.
+    metrics_delta: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -359,7 +378,24 @@ def execute_job(
     With ``capture_errors`` (the scheduler's mode) a failing or timed-out
     job yields a ``JobResult`` with the corresponding status instead of
     raising, so one bad job never poisons a batch.
+
+    Every log record emitted while the job runs carries the job's
+    fingerprint prefix and model (contextvars correlation), and the
+    job-level counters/histograms are recorded here — once per job.
     """
+    with bind(job=job.fingerprint()[:12], model=job.model, test=job.test.name):
+        result = _execute_job_inner(job, timeout, capture_errors=capture_errors)
+    _JOBS_EXECUTED.inc(model=job.model, status=result.status)
+    _JOB_SECONDS.observe(result.elapsed_seconds, model=job.model)
+    return result
+
+
+def _execute_job_inner(
+    job: Job,
+    timeout: Optional[float],
+    *,
+    capture_errors: bool,
+) -> JobResult:
     regs, locs = job.observables()
     start = time.perf_counter()
     try:

@@ -17,17 +17,67 @@ import multiprocessing
 import os
 import signal
 import sys
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from ..obs import metrics
+from ..obs.logging import bind_global, get_logger, log_event
+from ..obs.metrics import diff_snapshots
 from .cache import ResultCache, open_cache
 from .jobs import Job, JobResult, execute_job, timeouts_enforceable
+
+_log = get_logger("harness.scheduler")
+
+_POOL_JOBS = metrics.counter("pool_jobs_total", "Jobs executed on a WorkerPool.")
+_POOL_BATCHES = metrics.counter("pool_batches_total", "Batches dispatched to a WorkerPool.")
+_POOL_QUEUE_SECONDS = metrics.histogram(
+    "pool_queue_seconds", "Per-job wait between batch submission and execution start."
+)
+_POOL_COMPUTE_SECONDS = metrics.histogram(
+    "pool_compute_seconds", "Per-job execution wall time on a worker."
+)
+_POOL_BATCH_SIZE = metrics.histogram(
+    "pool_batch_size", "Jobs per WorkerPool batch.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+)
+_POOL_WORKERS = metrics.gauge("pool_workers", "Workers in the most recently created pool.")
+_POOL_UTILIZATION = metrics.gauge(
+    "pool_batch_utilization",
+    "compute-time / (wall-time x workers) of the most recent batch.",
+)
 
 
 def default_workers() -> int:
     """A sensible worker count for ``--workers 0`` style requests."""
     return max(1, os.cpu_count() or 1)
+
+
+class _Heartbeat:
+    """Throttled structured progress log for a batch of jobs.
+
+    Replaces ad-hoc print() progress lines: at most one ``batch progress``
+    record every ``interval`` seconds, machine-parseable under
+    ``--log-format json``, silent for batches that finish quickly.
+    """
+
+    def __init__(self, total: int, interval: float = 2.0) -> None:
+        self.total = total
+        self.done = 0
+        self.interval = interval
+        self._next = time.monotonic() + interval
+
+    def tick(self, result: JobResult) -> None:
+        self.done += 1
+        now = time.monotonic()
+        if now >= self._next or self.done == self.total:
+            self._next = now + self.interval
+            log_event(
+                _log, "batch progress",
+                done=self.done, total=self.total,
+                last_test=result.name, last_status=result.status,
+            )
 
 
 @dataclass
@@ -49,9 +99,30 @@ def _invoke(payload: tuple[Job, Optional[float]]) -> JobResult:
     return execute_job(job, timeout=timeout)
 
 
-def _invoke_indexed(payload: tuple[int, Job, Optional[float]]) -> tuple[int, JobResult]:
-    index, job, timeout = payload
-    return index, execute_job(job, timeout=timeout)
+def _invoke_indexed(
+    payload: tuple[int, Job, Optional[float], float],
+) -> tuple[int, JobResult]:
+    """Worker-side wrapper: run a job and attach its observability delta.
+
+    ``enqueued`` is the parent's ``time.monotonic()`` at submission; both
+    processes share the same clock (same boot), so ``start - enqueued``
+    is the job's queue wait.  The metrics-registry delta accumulated
+    while the job ran travels back on the result, where the parent folds
+    it into its own registry (and clears the field).
+    """
+    index, job, timeout, enqueued = payload
+    start = time.monotonic()
+    registry = metrics.get_registry()
+    before = registry.snapshot()
+    result = execute_job(job, timeout=timeout)
+    result.queue_seconds = max(0.0, start - enqueued)
+    result.metrics_delta = diff_snapshots(before, registry.snapshot()) or None
+    return index, result
+
+
+def _worker_init() -> None:
+    """Pool-worker bootstrap: bind the worker id for log correlation."""
+    bind_global(worker=f"w{os.getpid()}")
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -78,7 +149,8 @@ class WorkerPool:
 
     def __init__(self, workers: int = 0) -> None:
         self.workers = workers if workers > 0 else default_workers()
-        self._pool = _pool_context().Pool(processes=self.workers)
+        self._pool = _pool_context().Pool(processes=self.workers, initializer=_worker_init)
+        _POOL_WORKERS.set(self.workers)
         self._closed = False
         #: Batches dispatched and jobs executed over the pool's lifetime.
         self.batches = 0
@@ -116,11 +188,32 @@ class WorkerPool:
                 stacklevel=2,
             )
         results: list[Optional[JobResult]] = [None] * len(jobs)
-        payloads = [(index, job, timeouts[index]) for index, job in enumerate(jobs)]
+        enqueued = time.monotonic()
+        payloads = [
+            (index, job, timeouts[index], enqueued) for index, job in enumerate(jobs)
+        ]
+        registry = metrics.get_registry()
+        batch_start = time.perf_counter()
+        compute_total = 0.0
         for index, result in self._pool.imap_unordered(_invoke_indexed, payloads):
+            # Fold the worker's metrics delta into this process's registry
+            # (and strip it: a result must never replay its metrics).
+            if result.metrics_delta:
+                registry.merge(result.metrics_delta)
+            result.metrics_delta = None
+            if result.queue_seconds is not None:
+                _POOL_QUEUE_SECONDS.observe(result.queue_seconds)
+            _POOL_COMPUTE_SECONDS.observe(result.elapsed_seconds)
+            compute_total += result.elapsed_seconds
             results[index] = result
             if on_result is not None:
                 on_result(index, result)
+        batch_wall = time.perf_counter() - batch_start
+        _POOL_JOBS.inc(len(jobs))
+        _POOL_BATCHES.inc()
+        _POOL_BATCH_SIZE.observe(len(jobs))
+        if batch_wall > 0:
+            _POOL_UTILIZATION.set(min(1.0, compute_total / (batch_wall * self.workers)))
         self.batches += 1
         self.jobs_executed += len(jobs)
         return results  # type: ignore[return-value]
@@ -200,6 +293,7 @@ def run_jobs(
             pending.append(index)
 
     if pending:
+        heartbeat = _Heartbeat(len(pending))
         # A single pending job skips pool setup — but only when that
         # doesn't downgrade a requested deadline (in-process enforcement
         # needs SIGALRM on the calling thread; pool workers always
@@ -216,6 +310,7 @@ def run_jobs(
                 )
             for index in pending:
                 results[index] = _invoke((jobs[index], timeout))
+                heartbeat.tick(results[index])
                 if cache is not None:
                     cache.put(jobs[index], results[index])
         else:
@@ -230,6 +325,7 @@ def run_jobs(
             def _store(batch_index: int, result: JobResult) -> None:
                 index = pending[batch_index]
                 results[index] = result
+                heartbeat.tick(result)
                 if cache is not None:
                     cache.put(jobs[index], result)
 

@@ -16,7 +16,11 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 from ..axiomatic.model import AxiomaticConfig
 from ..flat.explorer import FlatConfig
 from ..lang.kinds import Arch
+from ..obs.logging import get_logger, log_event
+from ..obs.tracing import span
 from ..promising.exhaustive import ExploreConfig
+
+_log = get_logger("harness.sweep")
 
 if TYPE_CHECKING:  # litmus imports harness (runner); keep ours lazy.
     from ..litmus.test import LitmusTest
@@ -130,9 +134,20 @@ def run_sweep(
         axiomatic_config=axiomatic_config,
         flat_config=flat_config,
     )
+    log_event(
+        _log,
+        "sweep started",
+        sweep=name,
+        n_tests=len(tests),
+        n_jobs=len(jobs),
+        models=list(models),
+        arch=arch.value,
+        workers=workers,
+    )
     stats = BatchStats()
     start = time.perf_counter()
-    results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache, stats=stats)
+    with span("sweep", name=name, jobs=len(jobs)):
+        results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache, stats=stats)
     wall = time.perf_counter() - start
     report = build_report(
         jobs,
@@ -149,6 +164,16 @@ def run_sweep(
     )
     if report_path is not None:
         write_report(report, report_path)
+    log_event(
+        _log,
+        "sweep finished",
+        sweep=name,
+        n_jobs=len(jobs),
+        seconds=round(wall, 3),
+        statuses=dict(stats.statuses),
+        cache_hits=stats.cache_hits,
+        mismatches=len(report["mismatches"]),
+    )
     return SweepResult(jobs=jobs, results=results, report=report, stats=stats, wall_seconds=wall)
 
 

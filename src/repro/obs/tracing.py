@@ -1,0 +1,109 @@
+"""Lightweight nested spans over the metrics registry and log stream.
+
+``span("certify")`` wraps a phase of work, measures wall time with
+``perf_counter``, and on exit (a) observes the ``span_seconds`` histogram
+labeled by the span's dotted path and (b) emits a DEBUG log record with
+the duration and any attached fields.  Nesting is tracked through a
+contextvar, so spans compose across async tasks and threads:
+
+    with span("batch_compute", jobs=len(batch)):
+        with span("certify"):
+            ...   # recorded as "batch_compute.certify"
+
+For *per-state* hot loops even a contextmanager is too heavy; those call
+sites accumulate ``perf_counter`` deltas in a :class:`PhaseAccumulator`
+and flush once per run into a phase-labeled counter.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from . import metrics
+from .logging import get_logger, log_event
+
+#: Dotted path of enclosing spans in the current context.
+_SPAN_STACK: contextvars.ContextVar[tuple[str, ...]] = contextvars.ContextVar(
+    "repro_span_stack", default=()
+)
+
+_SPAN_SECONDS = metrics.histogram(
+    "span_seconds", "Wall time per traced span.", labels=("span",)
+)
+
+_log = get_logger("trace")
+
+
+class Span:
+    """Handle yielded by :func:`span` — exposes path and elapsed time."""
+
+    __slots__ = ("name", "path", "fields", "_start", "seconds")
+
+    def __init__(self, name: str, path: str, fields: dict) -> None:
+        self.name = name
+        self.path = path
+        self.fields = fields
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+
+    def stop(self) -> float:
+        self.seconds = time.perf_counter() - self._start
+        return self.seconds
+
+
+def current_span_path() -> str:
+    """Dotted path of the innermost active span ("" outside any span)."""
+    return ".".join(_SPAN_STACK.get())
+
+
+@contextmanager
+def span(name: str, /, **fields) -> Iterator[Span]:
+    """Trace one phase of work; see module docstring."""
+    stack = _SPAN_STACK.get()
+    token = _SPAN_STACK.set(stack + (name,))
+    handle = Span(name, ".".join(stack + (name,)), fields)
+    try:
+        yield handle
+    finally:
+        _SPAN_STACK.reset(token)
+        elapsed = handle.stop()
+        _SPAN_SECONDS.observe(elapsed, span=handle.path)
+        if _log.isEnabledFor(logging.DEBUG):
+            log_event(
+                _log,
+                "span",
+                level=logging.DEBUG,
+                span=handle.path,
+                seconds=round(elapsed, 6),
+                **handle.fields,
+            )
+
+
+class PhaseAccumulator:
+    """Per-run phase timing for hot loops: accumulate locally, flush once.
+
+    The explorers call ``add(phase, dt)`` with raw ``perf_counter``
+    deltas from inside their inner loops (two clock reads per phase, no
+    allocation, no dict-of-labels lookup), then ``flush`` the totals to
+    a phase-labeled seconds counter after the run completes.
+    """
+
+    __slots__ = ("totals",)
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+
+    def flush(self, counter: metrics.Counter, **labels: str) -> None:
+        for phase, seconds in self.totals.items():
+            counter.inc(seconds, phase=phase, **labels)
+        self.totals.clear()
+
+
+__all__ = ["PhaseAccumulator", "Span", "current_span_path", "span"]

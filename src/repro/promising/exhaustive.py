@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..explore import BaseSearchConfig, DepthFirst, SearchKernel, SearchStats, strategy_for
+from ..obs import metrics
+from ..obs.tracing import PhaseAccumulator
 from ..lang.ast import Stmt
 from ..lang.program import Loc, Program, TId
 from ..lang.transform import localise_private_locations, unroll_program
@@ -48,6 +50,17 @@ from .intern import InternPool
 from .machine import MachineState, machine_transitions
 from .state import Memory, TState
 from .steps import is_terminated, non_promise_steps, promise_step
+
+# Phase timings stay OUT of ExplorationStats on purpose: job stats must
+# compare bit-identical between serial/parallel/cached runs, so anything
+# wall-clock-shaped lives in the metrics registry instead.  Accumulation
+# is two perf_counter reads per phase per state (see PhaseAccumulator);
+# the labeled counter is touched once per run.
+_EXPLORE_PHASE_SECONDS = metrics.counter(
+    "explore_phase_seconds_total",
+    "Wall time spent per explorer phase (certify/enumerate/intern).",
+    labels=("model", "phase"),
+)
 
 
 @dataclass
@@ -224,10 +237,12 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
     # Memoise per-thread completion enumeration across final-memory states:
     # different promise interleavings frequently reconverge.
     completion_cache: dict[tuple, set[tuple]] = {}
+    phases = PhaseAccumulator()
 
     def expand(state: MachineState) -> list[MachineState]:
         per_thread = []
         can_finish = []
+        phase_start = time.perf_counter()
         for tid, thread in enumerate(state.threads):
             if cert_cache is not None:
                 # One sequential-graph build (memoised) answers both the
@@ -247,11 +262,13 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
             if not cert.complete:
                 stats.truncated = True
             per_thread.append(cert)
+        phases.add("certify", time.perf_counter() - phase_start)
 
         # Can every thread finish under the current memory without any new
         # promise?  If so the current memory is a candidate final memory.
         if all(can_finish):
             stats.final_memories += 1
+            phase_start = time.perf_counter()
             thread_results: list[set[tuple]] = []
             feasible = True
             for tid, thread in enumerate(state.threads):
@@ -286,6 +303,7 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
                     feasible = False
                     break
                 thread_results.append(regs)
+            phases.add("enumerate", time.perf_counter() - phase_start)
             if feasible:
                 final_memory = state.memory.final_values()
                 _accumulate_outcomes(outcomes, thread_results, final_memory)
@@ -307,7 +325,7 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
         strategy=strategy_for(config),
         max_states=config.max_states,
         deadline_seconds=config.deadline_seconds,
-        key_fn=(lambda s: s.cache_key(pool)) if pool is not None else None,
+        key_fn=_timed_key_fn(pool, phases) if pool is not None else None,
     )
     kernel.run([initial])
     stats.promise_states += kernel.stats.states
@@ -315,8 +333,21 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
     kernel.finish(stats)
 
     _finalise_stats(stats, pool, cert_cache)
+    phases.flush(_EXPLORE_PHASE_SECONDS, model="promising")
     stats.elapsed_seconds = time.perf_counter() - start
     return ExplorationResult(outcomes, stats, program)
+
+
+def _timed_key_fn(pool: InternPool, phases: PhaseAccumulator):
+    """The hash-consing visited-set key, timed as the "intern" phase."""
+
+    def key_fn(state: MachineState):
+        t0 = time.perf_counter()
+        key = state.cache_key(pool)
+        phases.add("intern", time.perf_counter() - t0)
+        return key
+
+    return key_fn
 
 
 def _finalise_stats(
@@ -379,11 +410,18 @@ def explore_naive(program: Program, config: Optional[ExploreConfig] = None) -> E
         CertificationCache(config.arch, config.cert_fuel) if config.cert_memo else None
     )
 
+    phases = PhaseAccumulator()
+
     def expand(state: MachineState) -> list[MachineState]:
         if state.is_final:
             outcomes.add(state.outcome())
             return []
+        # Certification happens inside machine_transitions here, so the
+        # naive explorer's step enumeration and certify time are one
+        # phase by construction.
+        phase_start = time.perf_counter()
         transitions = machine_transitions(state, config.cert_fuel, cert_cache=cert_cache)
+        phases.add("enumerate", time.perf_counter() - phase_start)
         if not transitions and state.has_outstanding_promises:
             stats.deadlocked_states += 1
         return [transition.state for transition in transitions]
@@ -393,7 +431,7 @@ def explore_naive(program: Program, config: Optional[ExploreConfig] = None) -> E
         strategy=strategy_for(config),
         max_states=config.max_states,
         deadline_seconds=config.deadline_seconds,
-        key_fn=(lambda s: s.cache_key(pool)) if pool is not None else None,
+        key_fn=_timed_key_fn(pool, phases) if pool is not None else None,
     )
     kernel.run([initial])
     stats.promise_states += kernel.stats.states
@@ -401,6 +439,7 @@ def explore_naive(program: Program, config: Optional[ExploreConfig] = None) -> E
     kernel.finish(stats)
 
     _finalise_stats(stats, pool, cert_cache)
+    phases.flush(_EXPLORE_PHASE_SECONDS, model="promising_naive")
     stats.elapsed_seconds = time.perf_counter() - start
     return ExplorationResult(outcomes, stats, program)
 

@@ -12,24 +12,29 @@ requests, and dispatches cold micro-batches to a warm
 """
 
 from .core import (
+    SERVICE_SCHEMA_VERSION,
     ExplorationService,
     NormalizedRequest,
     ServiceConfig,
     ServiceError,
     ServiceStats,
     percentile,
+    states_explored,
 )
-from .http import MAX_BODY_BYTES, ServiceServer, run_server
+from .http import MAX_BODY_BYTES, PROMETHEUS_CONTENT_TYPE, ServiceServer, run_server
 from .client import ServiceClient, ServiceClientError
 
 __all__ = [
+    "SERVICE_SCHEMA_VERSION",
     "ExplorationService",
     "NormalizedRequest",
     "ServiceConfig",
     "ServiceError",
     "ServiceStats",
     "percentile",
+    "states_explored",
     "MAX_BODY_BYTES",
+    "PROMETHEUS_CONTENT_TYPE",
     "ServiceServer",
     "run_server",
     "ServiceClient",

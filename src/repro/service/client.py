@@ -33,22 +33,47 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: ``X-Request-Id`` echoed by the most recent response (the
+        #: correlation handle for the service's structured logs).
+        self.last_request_id: Optional[str] = None
 
     # -- plumbing ------------------------------------------------------------
-    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def _raw_request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        request_id: Optional[str] = None,
+    ) -> tuple[int, dict, bytes]:
+        """One request; returns ``(status, response headers, body bytes)``."""
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None if payload is None else json.dumps(payload)
             headers = {} if body is None else {"Content-Type": "application/json"}
+            if request_id is not None:
+                headers["X-Request-Id"] = request_id
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            data = json.loads(response.read().decode() or "null")
-            if response.status >= 400:
-                error = (data or {}).get("error", f"HTTP {response.status}")
-                raise ServiceClientError(error, status=response.status)
-            return data
+            raw = response.read()
+            response_headers = {k.lower(): v for k, v in response.getheaders()}
+            self.last_request_id = response_headers.get("x-request-id")
+            return response.status, response_headers, raw
         finally:
             connection.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        request_id: Optional[str] = None,
+    ) -> dict:
+        status, _headers, raw = self._raw_request(method, path, payload, request_id)
+        data = json.loads(raw.decode() or "null")
+        if status >= 400:
+            error = (data or {}).get("error", f"HTTP {status}")
+            raise ServiceClientError(error, status=status)
+        return data
 
     def wait_until_ready(self, deadline: float = 30.0, interval: float = 0.05) -> dict:
         """Poll ``/healthz`` until the service answers (or raise)."""
@@ -73,6 +98,13 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
+    def metrics_text(self) -> str:
+        """The raw ``GET /metrics`` payload (Prometheus text format)."""
+        status, _headers, raw = self._raw_request("GET", "/metrics")
+        if status >= 400:
+            raise ServiceClientError(f"HTTP {status}", status=status)
+        return raw.decode()
+
     def explore(
         self,
         *,
@@ -81,8 +113,13 @@ class ServiceClient:
         arch: Optional[str] = None,
         models: Union[str, Sequence[str], None] = None,
         options: Optional[dict] = None,
+        request_id: Optional[str] = None,
     ) -> dict:
-        """Run one litmus test; mirrors the ``POST /explore`` body."""
+        """Run one litmus test; mirrors the ``POST /explore`` body.
+
+        ``request_id`` (optional) is sent as ``X-Request-Id``; the
+        service echoes it on the response header and in its logs.
+        """
         payload: dict = {}
         if test is not None:
             payload["test"] = test
@@ -94,7 +131,7 @@ class ServiceClient:
             payload["models"] = list(models) if not isinstance(models, str) else models
         if options is not None:
             payload["options"] = options
-        return self._request("POST", "/explore", payload)
+        return self._request("POST", "/explore", payload, request_id=request_id)
 
     def shutdown(self) -> dict:
         """Ask the service to stop; tolerates the connection dropping."""

@@ -29,19 +29,69 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import math
+import platform
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from .. import __version__
 from ..axiomatic.model import AxiomaticConfig
 from ..flat.explorer import FlatConfig
-from ..harness.cache import LruResultCache, open_cache
-from ..harness.jobs import MODELS, Job, JobResult, execute_job, result_to_json
+from ..harness.cache import CACHE_REQUESTS, LruResultCache, open_cache
+from ..harness.jobs import (
+    MODELS,
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    Job,
+    JobResult,
+    execute_job,
+    result_to_json,
+)
 from ..harness.report import job_entry
 from ..harness.scheduler import WorkerPool
 from ..lang.kinds import ARCH_ALIASES, Arch, parse_arch
+from ..obs import metrics
+from ..obs.logging import get_logger, log_event
+from ..obs.tracing import span
 from ..promising.exhaustive import ExploreConfig
+
+#: Version of the /healthz and /stats payload shapes (bumped whenever a
+#: field is renamed or removed, not when purely additive).
+SERVICE_SCHEMA_VERSION = 1
+
+_log = get_logger("service.core")
+
+_SERVICE_REQUESTS = metrics.counter(
+    "service_requests_total", "Explore requests by outcome.", labels=("outcome",)
+)
+_SERVICE_REQUEST_SECONDS = metrics.histogram(
+    "service_request_seconds", "End-to-end /explore latency."
+)
+_SERVICE_JOBS = metrics.counter(
+    "service_jobs_total", "Jobs served, by the layer that answered.",
+    labels=("served_from",),
+)
+_SERVICE_ERRORS = metrics.counter(
+    "service_errors_total", "Failures inside the service, by kind.", labels=("kind",)
+)
+
+
+def _build_info() -> dict:
+    return {"version": __version__, "python": platform.python_version()}
+
+
+def states_explored(stats: dict) -> int:
+    """States a job's exploration visited, across model vocabularies.
+
+    Promising counts promise-mode plus per-thread enumeration states;
+    flat counts kernel states; axiomatic enumerates candidate executions
+    rather than states and contributes 0.
+    """
+    return sum(
+        int(stats.get(key) or 0)
+        for key in ("promise_states", "thread_enumeration_states", "states")
+    )
 
 
 class ServiceError(Exception):
@@ -111,7 +161,17 @@ class ServiceStats:
     batches: int = 0
     batched_jobs: int = 0
     max_batch_size: int = 0
+    #: Error accounting: jobs that raised or timed out during batch
+    #: compute, and whole batches lost to pool breakage.  A failing job
+    #: must surface here (and in /metrics), never vanish.
+    job_errors: int = 0
+    job_timeouts: int = 0
+    batch_failures: int = 0
     latencies: deque = field(default_factory=deque)
+
+    @property
+    def errors_total(self) -> int:
+        return self.job_errors + self.job_timeouts + self.batch_failures
 
     def record_batch(self, size: int) -> None:
         self.batches += 1
@@ -375,6 +435,7 @@ class ExplorationService:
             request = self.normalize(payload)
         except ServiceError as exc:
             self.stats.bad_requests += 1
+            _SERVICE_REQUESTS.inc(outcome="bad_request")
             return exc.status, {"ok": False, "error": str(exc)}
         self.stats.requests += 1
         self.stats.jobs += len(request.jobs)
@@ -383,22 +444,51 @@ class ExplorationService:
                 *(self._resolve(job, request.timeout) for job in request.jobs)
             )
         except ServiceError as exc:
+            _SERVICE_REQUESTS.inc(outcome="error")
             return exc.status, {"ok": False, "error": str(exc)}
         rows = []
+        total_cost = {"states_explored": 0, "queue_ms": 0.0, "compute_ms": 0.0}
+        served_from_counts: dict[str, int] = {}
         for job, (result, served_from) in zip(request.jobs, resolved):
+            _SERVICE_JOBS.inc(served_from=served_from)
+            served_from_counts[served_from] = served_from_counts.get(served_from, 0) + 1
             row = job_entry(result)
             row["served_from"] = served_from
+            # Per-job cost accounting: a cache hit cost nothing *now* (its
+            # recorded elapsed_seconds is the original computation), so
+            # only freshly computed answers bill queue/compute time.
+            computed_now = served_from in ("computed", "coalesced") and not result.cached
+            cost = {
+                "states": states_explored(result.stats),
+                "served_from": served_from,
+                "queue_ms": round((result.queue_seconds or 0.0) * 1000, 3)
+                if computed_now
+                else 0.0,
+                "compute_ms": round(result.elapsed_seconds * 1000, 3)
+                if computed_now
+                else 0.0,
+            }
+            row["cost"] = cost
+            total_cost["states_explored"] += cost["states"]
+            total_cost["queue_ms"] += cost["queue_ms"]
+            total_cost["compute_ms"] += cost["compute_ms"]
             if request.include_outcomes:
                 row["outcomes"] = result_to_json(result)["outcomes"]
             rows.append(row)
+        total_cost["queue_ms"] = round(total_cost["queue_ms"], 3)
+        total_cost["compute_ms"] = round(total_cost["compute_ms"], 3)
+        total_cost["served_from"] = served_from_counts
         elapsed = time.perf_counter() - start
         self.stats.record_latency(elapsed, self.config.latency_window)
+        _SERVICE_REQUESTS.inc(outcome="ok")
+        _SERVICE_REQUEST_SECONDS.observe(elapsed)
         response = {
             "ok": all(result.ok for result, _ in resolved),
             "test": request.name,
             "arch": request.arch.value,
             "models": list(request.models),
             "elapsed_seconds": elapsed,
+            "cost": total_cost,
             "results": rows,
         }
         return 200, response
@@ -423,15 +513,18 @@ class ExplorationService:
         inflight = self._inflight.get(fingerprint)
         if inflight is not None:
             # Coalescing: an identical computation is already running (or
-            # queued); share its result instead of executing twice.
+            # queued); share its result instead of executing twice.  This
+            # is the third cache tier, so it shares the layer-labeled
+            # counter vocabulary with the LRU and disk layers.
             self.stats.coalesced += 1
+            CACHE_REQUESTS.inc(layer="coalesced", outcome="hit")
             result, _label = await asyncio.shield(inflight)
             return self._rebind(result, job), "coalesced"
         if not self._running:
             raise ServiceError("service stopping", status=503)
         future = self._loop.create_future()
         self._inflight[fingerprint] = future
-        self._queue.append((job, timeout, future))
+        self._queue.append((job, timeout, future, time.monotonic()))
         self._queue_event.set()
         # The dispatcher resolves the future with (result, label): label
         # is "computed" normally, or "lru" for a duplicate that slipped
@@ -487,7 +580,7 @@ class ExplorationService:
             # jobs (``_resolve`` already recorded one).
             still_cold = []
             for entry in batch:
-                job, _timeout, future = entry
+                job, _timeout, future, _enqueued = entry
                 if job.fingerprint() in self.lru:
                     hit = self.lru.get(job)
                     self._inflight.pop(job.fingerprint(), None)
@@ -508,14 +601,25 @@ class ExplorationService:
 
     async def _run_batch(self, batch: list) -> None:
         """Execute one micro-batch on the pool and resolve its futures."""
-        jobs = [job for job, _, _ in batch]
-        timeouts = [timeout for _, timeout, _ in batch]
+        jobs = [job for job, _, _, _ in batch]
+        timeouts = [timeout for _, timeout, _, _ in batch]
+        dispatch = time.monotonic()
         try:
-            results = await self._loop.run_in_executor(
-                None, self._execute_batch, jobs, timeouts
-            )
+            with span("batch_compute", jobs=len(jobs)):
+                results = await self._loop.run_in_executor(
+                    None, self._execute_batch, jobs, timeouts
+                )
         except Exception as exc:  # pool breakage: fail this batch, keep serving
-            for job, _, future in batch:
+            self.stats.batch_failures += 1
+            _SERVICE_ERRORS.inc(kind="batch_failure")
+            log_event(
+                _log,
+                "batch failed",
+                level=40,  # logging.ERROR
+                jobs=len(jobs),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            for job, _, future, _ in batch:
                 self._inflight.pop(job.fingerprint(), None)
                 if not future.done():
                     future.set_exception(
@@ -524,8 +628,38 @@ class ExplorationService:
             return
         finally:
             self._batch_slots.release()
-        for (job, _, future), result in zip(batch, results):
+        for (job, _, future, enqueued), result in zip(batch, results):
             self._inflight.pop(job.fingerprint(), None)
+            # Total queue time = wait in the service's dispatch queue plus
+            # any wait inside the worker pool (measured by the worker).
+            result.queue_seconds = max(0.0, dispatch - enqueued) + (
+                result.queue_seconds or 0.0
+            )
+            if result.status == STATUS_ERROR:
+                # A job that raised during compute must be *counted*, not
+                # just passed through as a row the caller may ignore.
+                self.stats.job_errors += 1
+                _SERVICE_ERRORS.inc(kind="job_error")
+                log_event(
+                    _log,
+                    "job error",
+                    level=40,  # logging.ERROR
+                    test=result.name,
+                    model=result.model,
+                    fingerprint=result.fingerprint[:12],
+                    error=result.error.splitlines()[0] if result.error else "",
+                )
+            elif result.status == STATUS_TIMEOUT:
+                self.stats.job_timeouts += 1
+                _SERVICE_ERRORS.inc(kind="job_timeout")
+                log_event(
+                    _log,
+                    "job timeout",
+                    level=30,  # logging.WARNING
+                    test=result.name,
+                    model=result.model,
+                    fingerprint=result.fingerprint[:12],
+                )
             self.lru.put(job, result)
             if not future.done():
                 future.set_result((result, "computed"))
@@ -567,10 +701,16 @@ class ExplorationService:
     def healthz(self) -> dict:
         return {
             "status": "ok" if self._running else "stopping",
+            "schema_version": SERVICE_SCHEMA_VERSION,
+            "build": _build_info(),
             "uptime_seconds": time.monotonic() - self.stats.started_monotonic,
             "workers": self.config.workers,
             "pool": "resident" if self._pool is not None else "inline",
         }
+
+    def metrics_text(self) -> str:
+        """The process-wide metrics registry in Prometheus text format."""
+        return metrics.get_registry().render_prometheus()
 
     def stats_snapshot(self) -> dict:
         """The ``/stats`` payload: cache hit rates, batching, latency."""
@@ -578,10 +718,18 @@ class ExplorationService:
         latencies = list(stats.latencies)
         served_without_execution = stats.lru_hits + stats.disk_hits + stats.coalesced
         return {
+            "schema_version": SERVICE_SCHEMA_VERSION,
+            "build": _build_info(),
             "uptime_seconds": time.monotonic() - stats.started_monotonic,
             "requests": stats.requests,
             "bad_requests": stats.bad_requests,
             "jobs": stats.jobs,
+            "errors": {
+                "jobs": stats.job_errors,
+                "timeouts": stats.job_timeouts,
+                "batches": stats.batch_failures,
+                "total": stats.errors_total,
+            },
             "served": {
                 "lru": stats.lru_hits,
                 "disk": stats.disk_hits,
@@ -627,10 +775,12 @@ class ExplorationService:
 
 
 __all__ = [
+    "SERVICE_SCHEMA_VERSION",
     "ExplorationService",
     "NormalizedRequest",
     "ServiceConfig",
     "ServiceError",
     "ServiceStats",
     "percentile",
+    "states_explored",
 ]

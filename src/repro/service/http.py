@@ -4,8 +4,10 @@ A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
 frameworks, no new dependencies — speaking exactly the protocol the
 blocking :mod:`repro.service.client` consumes:
 
-* ``GET /healthz`` — liveness (status, uptime, worker mode);
+* ``GET /healthz`` — liveness (status, uptime, worker mode, build info);
 * ``GET /stats``   — cache hit rates, batch sizes, latency percentiles;
+* ``GET /metrics`` — the process-wide metrics registry in Prometheus
+  text exposition format (kernel, pool, and cache-layer series);
 * ``POST /explore`` — one litmus job request (see
   :meth:`~repro.service.core.ExplorationService.normalize` for the body);
 * ``POST /shutdown`` — graceful stop (used by CI and the benchmark).
@@ -20,9 +22,17 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
+import time
+from typing import Optional, Union
 
+from ..obs.logging import bind, get_logger, log_event, new_request_id, sanitize_request_id
 from .core import ExplorationService, ServiceConfig
+
+_log = get_logger("service.http")
+
+#: Content type of the ``GET /metrics`` payload (Prometheus text
+#: exposition format); JSON everywhere else.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _STATUS_TEXT = {
     200: "OK",
@@ -89,15 +99,23 @@ class ServiceServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        request_id = new_request_id()
         try:
-            status, payload = await self._respond(reader)
+            status, payload, request_id = await self._respond(reader, request_id)
         except Exception:
             status, payload = 500, {"ok": False, "error": "internal server error"}
-        body = json.dumps(payload).encode()
+        # /metrics answers Prometheus text; everything else is JSON.
+        if isinstance(payload, str):
+            body = payload.encode()
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"X-Request-Id: {request_id}\r\n"
             "Connection: close\r\n\r\n"
         ).encode()
         try:
@@ -108,20 +126,42 @@ class ServiceServer:
         finally:
             writer.close()
 
-    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+    async def _respond(
+        self, reader: asyncio.StreamReader, request_id: str
+    ) -> tuple[int, Union[dict, str], str]:
         # Only the *read* runs under the deadline: a slow or silent
         # client is cut off, while a legitimately slow exploration in
         # _route keeps its own per-job timeout budget.
         try:
             parsed = await asyncio.wait_for(self._read_request(reader), READ_TIMEOUT)
         except asyncio.TimeoutError:
-            return 400, {"ok": False, "error": f"request not received within {READ_TIMEOUT}s"}
+            return (
+                400,
+                {"ok": False, "error": f"request not received within {READ_TIMEOUT}s"},
+                request_id,
+            )
         except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            return 400, {"ok": False, "error": "truncated or oversized request"}
+            return 400, {"ok": False, "error": "truncated or oversized request"}, request_id
         if isinstance(parsed, tuple) and len(parsed) == 2:
-            return parsed  # an error response from the parser
-        method, path, body = parsed
-        return await self._route(method, path, body)
+            return (*parsed, request_id)  # an error response from the parser
+        method, path, headers, body = parsed
+        # A client-supplied X-Request-Id (sanitized) wins, so one id can
+        # correlate client logs, service logs, and the echoed header.
+        request_id = sanitize_request_id(headers.get("x-request-id")) or request_id
+        start = time.perf_counter()
+        with bind(request_id=request_id):
+            status, payload = await self._route(method, path, body)
+            if path == "/explore" and isinstance(payload, dict):
+                payload.setdefault("request_id", request_id)
+            log_event(
+                _log,
+                "request",
+                method=method,
+                path=path,
+                status=status,
+                seconds=round(time.perf_counter() - start, 6),
+            )
+        return status, payload, request_id
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """Parse request line + headers + body, with hard size caps."""
@@ -150,9 +190,11 @@ class ServiceServer:
         if length > MAX_BODY_BYTES:
             return 413, {"ok": False, "error": f"body exceeds {MAX_BODY_BYTES} bytes"}
         body = await reader.readexactly(length) if length else b""
-        return method, path, body
+        return method, path, headers, body
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, Union[dict, str]]:
         if path == "/healthz":
             if method != "GET":
                 return 405, {"ok": False, "error": "use GET /healthz"}
@@ -161,6 +203,10 @@ class ServiceServer:
             if method != "GET":
                 return 405, {"ok": False, "error": "use GET /stats"}
             return 200, self.service.stats_snapshot()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"ok": False, "error": "use GET /metrics"}
+            return 200, self.service.metrics_text()
         if path == "/explore":
             if method != "POST":
                 return 405, {"ok": False, "error": "use POST /explore"}
@@ -213,6 +259,7 @@ def run_server(
 
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
     "MAX_BODY_BYTES",
     "MAX_HEADER_BYTES",
     "MAX_HEADERS",

@@ -28,6 +28,7 @@ from pathlib import Path
 
 from ..harness import DEFAULT_MODELS, MODELS, run_fuzz, run_sweep
 from ..lang.kinds import ARCH_ALIASES, Arch, parse_arch
+from ..obs import LOG_FORMATS, configure_logging
 from ..litmus import (
     all_tests,
     attach_expected,
@@ -336,6 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="step bound of one random walk before restart")
     parser.add_argument("--seed", type=int, default=0,
                         help="PRNG seed of --strategy sample (same seed, same outcomes)")
+    parser.add_argument("--log-format", choices=LOG_FORMATS, default="text",
+                        help="structured log output: text (default) or json "
+                             "(one JSON object per line on stderr)")
+    parser.add_argument("--log-level", default="info",
+                        help="log verbosity: debug, info (default), warning, error")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="exhaustively explore a litmus test")
@@ -430,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_format, args.log_level)
     return args.func(args)
 
 
