@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Packed-vs-object backend sweep; writes the tracked ``BENCH_backend.json``.
+
+The tracked sweep is the *transition hot path* at scale: the naive
+reference explorer (every certified machine step interleaved — the
+ablation baseline of the promise-first strategy) on the catalogue's
+largest multicopy-atomicity shapes plus scaled IRIW variants whose state
+spaces grow into the tens of thousands.  That is the regime the packed
+backend exists for: the object backend re-walks dataclass graphs per
+visit, while the packed backend replays interned integer memos, so its
+advantage grows with the number of revisited thread configurations.
+
+Two legs per family, alternated within each repeat (drift hits both
+alike), minimum wall time compared (the standard low-noise estimator for
+deterministic CPU-bound work).  Besides the gated aggregate the report
+records *context* rows — promise-first and Flat runs — whose speedups
+are informational, but whose outcome digests are still required to be
+bit-identical: the backend may never change semantics anywhere.
+
+``scripts/check_bench_regression.py`` enforces the schema, the ≥10x
+aggregate claim over the gated rows, and digest bit-identity on every
+row, against the committed artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_backend.py [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.explore import BACKENDS  # noqa: E402
+from repro.flat import FlatConfig, explore_flat  # noqa: E402
+from repro.harness.report import outcome_set_digest  # noqa: E402
+from repro.lang import LocationEnv, load, make_program, seq, store  # noqa: E402
+from repro.litmus import get_test  # noqa: E402
+from repro.promising import ExploreConfig, explore, explore_naive  # noqa: E402
+
+MAX_STATES = 2_000_000
+
+
+def scaled_iriw(readers: int, reads: int):
+    """IRIW blown up: 2 writers, ``readers`` observer threads of ``reads``
+    alternating loads each.  State count grows combinatorially with both
+    knobs, which is exactly the regime the packed backend targets."""
+    env = LocationEnv(stride=8)
+    x, y = env["x"], env["y"]
+    threads = [store(x, 1), store(y, 1)]
+    for r in range(readers):
+        locs = (x, y) if r % 2 == 0 else (y, x)
+        threads.append(seq(*(load(f"r{i}", locs[i % 2]) for i in range(reads))))
+    return make_program(threads, env=env, name=f"IRIW+pos+{readers}r{reads}w")
+
+
+def _catalogue(name):
+    return get_test(name).program
+
+
+#: (family name, model, program thunk, gated?).  Gated rows form the
+#: tracked aggregate; context rows are digest-checked only.
+FAMILIES = [
+    ("IRIW+pos", "promising-naive", lambda: _catalogue("IRIW+pos"), True),
+    ("IRIW+addrs", "promising-naive", lambda: _catalogue("IRIW+addrs"), True),
+    ("WRC+pos", "promising-naive", lambda: _catalogue("WRC+pos"), True),
+    ("IRIW+pos+3r2w", "promising-naive", lambda: scaled_iriw(3, 2), True),
+    ("IRIW+pos+2r3w", "promising-naive", lambda: scaled_iriw(2, 3), True),
+    ("IRIW+pos+2r4w", "promising-naive", lambda: scaled_iriw(2, 4), True),
+    ("IRIW+pos+3r2w", "promising", lambda: scaled_iriw(3, 2), False),
+    ("MP", "promising", lambda: _catalogue("MP"), False),
+    ("MP", "flat", lambda: _catalogue("MP"), False),
+]
+
+
+def run_once(model: str, program, backend: str):
+    """One exploration; returns (seconds, digest, states)."""
+    if model == "flat":
+        config = FlatConfig(backend=backend, max_states=MAX_STATES)
+        runner = explore_flat
+    else:
+        config = ExploreConfig(backend=backend, max_states=MAX_STATES)
+        runner = explore if model == "promising" else explore_naive
+    start = time.perf_counter()
+    result = runner(program, config)
+    elapsed = time.perf_counter() - start
+    if result.stats.truncated:
+        raise SystemExit(f"{program.name} ({model}, {backend}) truncated — raise MAX_STATES")
+    states = getattr(result.stats, "promise_states", None)
+    if states is None:
+        states = result.stats.states
+    return elapsed, outcome_set_digest(result.outcomes), states
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="runs per (family, backend); the minimum is compared",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="recorded aggregate speedup claim over the gated rows",
+    )
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_backend.json"))
+    args = parser.parse_args(argv)
+
+    rows = []
+    for name, model, make_program_, gated in FAMILIES:
+        program = make_program_()
+        times: dict[str, list[float]] = {b: [] for b in BACKENDS}
+        digests: dict[str, str] = {}
+        states = 0
+        for _repeat in range(args.repeats):
+            for backend in BACKENDS:
+                seconds, digest, states = run_once(model, program, backend)
+                times[backend].append(seconds)
+                previous = digests.setdefault(backend, digest)
+                if previous != digest:
+                    raise SystemExit(
+                        f"{name} ({model}, {backend}): digest unstable across repeats"
+                    )
+        object_s = min(times["object"])
+        packed_s = min(times["packed"])
+        row = {
+            "name": name,
+            "model": model,
+            "gated": gated,
+            "states": states,
+            "object_seconds": round(object_s, 4),
+            "packed_seconds": round(packed_s, 4),
+            "speedup": round(object_s / packed_s, 2),
+            "digest_object": digests["object"],
+            "digest_packed": digests["packed"],
+            "digest_match": digests["object"] == digests["packed"],
+        }
+        rows.append(row)
+        marker = "" if row["digest_match"] else "  DIGEST MISMATCH"
+        print(
+            f"{name:18s} {model:16s} obj {object_s:7.3f}s  packed {packed_s:7.3f}s  "
+            f"x{row['speedup']:5.1f}{'' if gated else '  (context)'}{marker}"
+        )
+
+    gated_rows = [r for r in rows if r["gated"]]
+    object_total = sum(r["object_seconds"] for r in gated_rows)
+    packed_total = sum(r["packed_seconds"] for r in gated_rows)
+    aggregate = object_total / packed_total if packed_total else float("inf")
+    digests_ok = all(r["digest_match"] for r in rows)
+    report = {
+        "schema_version": 1,
+        "name": "backend-sweep",
+        "generated_unix": int(time.time()),
+        "model_note": (
+            "gated rows run the naive reference explorer (the fully "
+            "interleaved transition relation); context rows cover the "
+            "promise-first and Flat explorers"
+        ),
+        "repeats": args.repeats,
+        "min_speedup": args.min_speedup,
+        "families": rows,
+        "aggregate": {
+            "object_seconds": round(object_total, 4),
+            "packed_seconds": round(packed_total, 4),
+            "speedup": round(aggregate, 2),
+        },
+        "claims": {
+            "digests_identical": digests_ok,
+            "speedup_at_least_min": aggregate >= args.min_speedup,
+        },
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"aggregate (gated): object {object_total:.3f}s  packed {packed_total:.3f}s  "
+        f"x{aggregate:.1f} (claim: >= {args.min_speedup:.0f}x)"
+    )
+    print(f"report written to {args.output}")
+    return 0 if digests_ok and aggregate >= args.min_speedup else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,14 @@ by default), then compares the fresh results job-by-job:
   flag set.  Regeneration is ``scripts/bench_obs.py``'s job (via
   ``bench.sh``).
 
+* **Backend artifact** — the committed ``BENCH_backend.json`` must parse
+  against the backend-sweep schema and record the PR 7 claims: a
+  packed-vs-object aggregate speedup of at least
+  ``--min-backend-speedup`` (default 10) over the gated rows, and
+  bit-identical outcome digests between the two backends on *every* row
+  (gated and context alike — the backend may never change semantics).
+  Regeneration is ``scripts/bench_backend.py``'s job (via ``bench.sh``).
+
 Exit status: 0 clean, 1 regression found, 2 usage/baseline problems.
 
 Run it locally after touching an explorer::
@@ -143,6 +151,22 @@ def parse_args(argv: list[str] | None) -> argparse.Namespace:
         "--skip-obs",
         action="store_true",
         help="skip BENCH_obs.json validation entirely",
+    )
+    parser.add_argument(
+        "--backend-baseline",
+        default=str(REPO_ROOT / "BENCH_backend.json"),
+        help="tracked backend-sweep report to schema-validate",
+    )
+    parser.add_argument(
+        "--min-backend-speedup",
+        type=float,
+        default=10.0,
+        help="lowest acceptable recorded packed-vs-object aggregate speedup",
+    )
+    parser.add_argument(
+        "--skip-backend",
+        action="store_true",
+        help="skip BENCH_backend.json validation entirely",
     )
     return parser.parse_args(argv)
 
@@ -363,6 +387,88 @@ def validate_obs_report(path: Path, max_overhead: float) -> list[str]:
     return failures
 
 
+#: ``BENCH_backend.json`` required layout, in lockstep with
+#: ``scripts/bench_backend.py``.
+BACKEND_SCHEMA = {
+    "schema_version": None,
+    "name": None,
+    "generated_unix": None,
+    "repeats": None,
+    "min_speedup": None,
+    "families": None,
+    "aggregate": ("object_seconds", "packed_seconds", "speedup"),
+    "claims": ("digests_identical", "speedup_at_least_min"),
+}
+
+BACKEND_ROW_KEYS = (
+    "name",
+    "model",
+    "gated",
+    "object_seconds",
+    "packed_seconds",
+    "speedup",
+    "digest_object",
+    "digest_packed",
+    "digest_match",
+)
+
+
+def validate_backend_report(path: Path, min_speedup: float) -> list[str]:
+    """Schema + recorded-claims validation of ``BENCH_backend.json``."""
+    failures: list[str] = []
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"backend baseline {path} unreadable: {exc}"]
+    if not isinstance(report, dict):
+        return [f"backend baseline {path} is not a JSON object"]
+    for key, subkeys in BACKEND_SCHEMA.items():
+        if key not in report:
+            failures.append(f"backend baseline missing key {key!r}")
+            continue
+        if subkeys is None:
+            continue
+        block = report[key]
+        if not isinstance(block, dict):
+            failures.append(f"backend baseline {key!r} must be an object")
+            continue
+        for subkey in subkeys:
+            if subkey not in block:
+                failures.append(f"backend baseline missing {key}.{subkey}")
+    if failures:
+        return failures
+    rows = report["families"]
+    if not isinstance(rows, list) or not rows:
+        return ["backend baseline must record at least one family row"]
+    gated = 0
+    for row in rows:
+        missing = [k for k in BACKEND_ROW_KEYS if k not in row]
+        if missing:
+            failures.append(f"backend baseline row missing {missing}")
+            continue
+        label = f"backend {row['name']} ({row['model']})"
+        # Semantics are non-negotiable on every row, context included.
+        if row["digest_object"] != row["digest_packed"] or not row["digest_match"]:
+            failures.append(
+                f"{label}: packed and object outcome digests differ — the "
+                "packed backend changed an outcome set"
+            )
+        if row["gated"]:
+            gated += 1
+            if not isinstance(row["speedup"], (int, float)) or row["speedup"] <= 0:
+                failures.append(f"{label}: speedup must be a positive number")
+    if gated == 0:
+        failures.append("backend baseline has no gated rows to aggregate")
+    speedup = report["aggregate"]["speedup"]
+    if not isinstance(speedup, (int, float)) or speedup < min_speedup:
+        failures.append(f"backend aggregate speedup {speedup!r} below the {min_speedup:.0f}x bar")
+    if report["claims"]["digests_identical"] is not True:
+        failures.append("backend baseline claim digests_identical must be true")
+    if report["claims"]["speedup_at_least_min"] is not True:
+        failures.append("backend baseline claim speedup_at_least_min must be true")
+    return failures
+
+
 def family(name: str) -> str:
     return name.split("+")[0]
 
@@ -453,6 +559,20 @@ def main(argv: list[str] | None = None) -> int:
         else:
             failures.append(f"obs baseline not found: {obs_path}")
             print(f"obs      : {obs_path} MISSING")
+
+    # -- backend artifact ---------------------------------------------------
+    if not args.skip_backend:
+        backend_path = Path(args.backend_baseline)
+        if backend_path.exists():
+            backend_failures = validate_backend_report(backend_path, args.min_backend_speedup)
+            failures.extend(backend_failures)
+            print(
+                f"backend  : {backend_path} "
+                f"({'OK' if not backend_failures else f'{len(backend_failures)} problem(s)'})"
+            )
+        else:
+            failures.append(f"backend baseline not found: {backend_path}")
+            print(f"backend  : {backend_path} MISSING")
 
     # -- semantic comparison ----------------------------------------------
     compared = 0

@@ -1,0 +1,50 @@
+"""Execution backends: swappable state representations for exploration.
+
+See :mod:`repro.backend.base` for the seam contract.  The factories
+below are what the explorers call; they validate the backend name
+against :data:`~repro.explore.config.BACKENDS`.
+"""
+
+from .base import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    EXPLORE_PHASE_SECONDS,
+    ExecutionBackend,
+    validate_backend,
+)
+from .object import ObjectFlatBackend, ObjectPromisingBackend
+from .packed import PackedFlatBackend, PackedPromisingBackend
+
+
+def make_promising_backend(name, program, config, stats):
+    """Backend for the promising explorers (promise-first and naive)."""
+    validate_backend(name)
+    cls = ObjectPromisingBackend if name == "object" else PackedPromisingBackend
+    return cls(program, config, stats)
+
+
+def make_flat_backend(name, program, config, stats, successors_fn):
+    """Backend for the Flat-style explorer.
+
+    ``successors_fn`` is the explorer's labelled transition relation,
+    injected so the backend package never imports the explorer it
+    serves.
+    """
+    validate_backend(name)
+    cls = ObjectFlatBackend if name == "object" else PackedFlatBackend
+    return cls(program, config, stats, successors_fn)
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "EXPLORE_PHASE_SECONDS",
+    "ExecutionBackend",
+    "ObjectFlatBackend",
+    "ObjectPromisingBackend",
+    "PackedFlatBackend",
+    "PackedPromisingBackend",
+    "make_flat_backend",
+    "make_promising_backend",
+    "validate_backend",
+]

@@ -1,0 +1,316 @@
+"""The ``packed`` execution backend: compiled programs, integer states.
+
+The object backend spends its time re-deriving structure from dataclass
+graphs on every visit: statements are decomposed per step enumeration,
+state snapshots are deep tuples whose hashes walk every register and
+message on every visited-set or memo probe, and a thread configuration
+recurring across interleavings is re-certified (or at best re-hashed)
+each time.  This backend removes all of that:
+
+* the program is compiled once per job (:mod:`repro.isa.compile`),
+  giving every reachable statement a dense id and precomputing its head
+  kind, register dependencies and static successors;
+* thread configurations ``(statement, thread state)`` and memories are
+  interned to dense integer ids (:class:`~repro.promising.intern.IdInterner`),
+  with the first-seen objects kept as the canonical decoded forms;
+* a machine state is the flat tuple ``(tcfg_0, …, tcfg_{T-1}, mem)`` of
+  those ids — ``cache_key()`` degenerates to the identity function and
+  every visited/memo table keys on small immutable int tuples;
+* dynamic behaviour still comes from the *reference* step functions
+  (:mod:`repro.promising.steps`) — run once per distinct ``(thread,
+  thread-config, memory)`` triple, encoded, and replayed from integer
+  memo tables on every later visit.  Because the naive explorer visits
+  the same thread configuration across every interleaving of the other
+  threads, this turns its per-state cost from step-enumeration +
+  certification into T dict probes and tuple splices.
+
+Successor *order* is preserved exactly (candidates before promises,
+promises sorted by location/value, as in
+:func:`~repro.promising.machine.machine_transitions`), so even seeded
+``sample`` runs walk the same traces as the object backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..isa.compile import CompiledProgram, compile_program
+from ..lang.program import Program
+from ..obs.tracing import PhaseAccumulator
+from ..promising.certification import CertificationCache
+from ..promising.intern import IdInterner
+from ..promising.machine import MachineState, Thread, thread_candidate_steps
+from ..promising.steps import promise_step
+from .base import EXPLORE_PHASE_SECONDS
+from .object import ObjectFlatBackend, enumerate_completions
+
+#: Packed machine state: thread-config ids then the memory id.
+Packed = tuple
+
+
+class PackedPromisingBackend:
+    """Promising-model backend over compiled programs and id tuples."""
+
+    name = "packed"
+
+    def __init__(self, program: Program, config, stats) -> None:
+        self.program = program
+        self.config = config
+        self.arch = config.arch
+        self.stats = stats
+        self.compiled: CompiledProgram = compile_program(program)
+        self._registers = self.compiled.registers
+        #: (stmt id, packed tstate) -> dense id; objects are the
+        #: canonical decoded ``(stmt, tstate)`` pairs.
+        self._tcfgs = IdInterner()
+        #: Per-tcfg flags, parallel to ``self._tcfgs.objects``.
+        self._tcfg_final: list[bool] = []
+        self._tcfg_prom: list[bool] = []
+        #: messages tuple -> dense id; objects are the Memory instances.
+        self._mems = IdInterner()
+        #: Certification memo keyed by small ``(tid, tcfg, mem)`` tuples.
+        #: Always on: memoisation is what the packed representation *is*
+        #: (``cert_memo=False`` remains an object-backend ablation).
+        self.cert_cache = CertificationCache(config.arch, config.cert_fuel)
+        self._steps: dict[tuple, tuple] = {}
+        self._promise_steps: dict[tuple, tuple] = {}
+        self._completions: dict[tuple, set[tuple]] = {}
+        self.phases = PhaseAccumulator()
+
+    # -- encoding ----------------------------------------------------------
+    def _encode_thread(self, stmt, ts) -> int:
+        sid = self.compiled.stmt_id(stmt)
+        key = (sid, ts.pack(self._registers))
+        table = self._tcfgs
+        before = len(table)
+        nid = table.intern(key, (stmt, ts))
+        if len(table) != before:
+            self._tcfg_final.append(
+                self.compiled.record(sid).terminated and not ts.prom
+            )
+            self._tcfg_prom.append(bool(ts.prom))
+        return nid
+
+    def _encode_memory(self, memory) -> int:
+        return self._mems.intern(memory.cache_key(), memory)
+
+    def encode(self, state: MachineState) -> Packed:
+        encode_thread = self._encode_thread
+        return tuple(
+            encode_thread(t.stmt, t.tstate) for t in state.threads
+        ) + (self._encode_memory(state.memory),)
+
+    def decode(self, packed: Packed) -> MachineState:
+        objs = self._tcfgs.objects
+        threads = tuple(Thread(*objs[i]) for i in packed[:-1])
+        return MachineState(threads, self._mems.objects[packed[-1]], self.arch)
+
+    def key(self, packed: Packed) -> Packed:
+        return packed
+
+    def initial(self) -> Packed:
+        return self.encode(MachineState.initial(self.program, self.arch))
+
+    # -- certification ------------------------------------------------------
+    def _certify(self, tid: int, cfg: int, mem: int):
+        stmt, ts = self._tcfgs.objects[cfg]
+        return self.cert_cache.certify_keyed(
+            (tid, cfg, mem), stmt, ts, self._mems.objects[mem], tid
+        )
+
+    def certify_all(self, packed: Packed):
+        """Certify every thread; returns (per-thread results, can-finish)."""
+        stats = self.stats
+        phase_start = time.perf_counter()
+        mem = packed[-1]
+        per_thread = []
+        can_finish = []
+        for tid in range(len(packed) - 1):
+            cert = self._certify(tid, packed[tid], mem)
+            if not cert.complete:
+                stats.truncated = True
+            per_thread.append(cert)
+            can_finish.append(cert.can_complete)
+        self.phases.add("certify", time.perf_counter() - phase_start)
+        return per_thread, can_finish
+
+    # -- promise-first exploration ------------------------------------------
+    def promise_successors(self, packed: Packed, per_thread) -> list[Packed]:
+        mem = packed[-1]
+        out: list[Packed] = []
+        for tid, cert in enumerate(per_thread):
+            memo_key = (tid, packed[tid], mem)
+            pairs = self._promise_steps.get(memo_key)
+            if pairs is None:
+                stmt, ts = self._tcfgs.objects[packed[tid]]
+                memory = self._mems.objects[mem]
+                pairs = tuple(
+                    (
+                        self._encode_thread(step.stmt, step.tstate),
+                        self._encode_memory(step.memory),
+                    )
+                    for step in (
+                        promise_step(stmt, ts, memory, msg)
+                        for msg in cert.promises
+                    )
+                )
+                self._promise_steps[memo_key] = pairs
+            if pairs:
+                prefix = packed[:tid]
+                suffix = packed[tid + 1 : -1]
+                for new_cfg, new_mem in pairs:
+                    out.append(prefix + (new_cfg,) + suffix + (new_mem,))
+        return out
+
+    def completion_sets(self, packed: Packed) -> Optional[list[set[tuple]]]:
+        """Per-thread final register sets under this (final) memory."""
+        stats = self.stats
+        phase_start = time.perf_counter()
+        mem = packed[-1]
+        thread_results: list[set[tuple]] = []
+        feasible = True
+        dedup = self.config.dedup
+        for tid in range(len(packed) - 1):
+            if dedup:
+                memo_key = (tid, packed[tid], mem)
+                regs = self._completions.get(memo_key)
+                if regs is not None:
+                    stats.completion_memo_hits += 1
+                else:
+                    regs = self._enumerate(tid, packed[tid], mem, dedup=True)
+                    self._completions[memo_key] = regs
+            else:
+                regs = self._enumerate(tid, packed[tid], mem, dedup=False)
+            if not regs:
+                feasible = False
+                break
+            thread_results.append(regs)
+        self.phases.add("enumerate", time.perf_counter() - phase_start)
+        return thread_results if feasible else None
+
+    def _enumerate(self, tid: int, cfg: int, mem: int, dedup: bool) -> set[tuple]:
+        stmt, ts = self._tcfgs.objects[cfg]
+        memory = self._mems.objects[mem]
+        key_fn = None
+        if dedup:
+            compiled = self.compiled
+            registers = self._registers
+            key_fn = lambda node: (  # noqa: E731
+                compiled.stmt_id(node[0]),
+                node[1].pack(registers),
+            )
+        return enumerate_completions(
+            stmt, ts, memory, self.arch, tid, self.stats,
+            self.config.max_states, key_fn,
+        )
+
+    def final_memory(self, packed: Packed) -> dict:
+        return self._mems.objects[packed[-1]].final_values()
+
+    # -- naive (fully interleaved) exploration -------------------------------
+    def successors(self, packed: Packed) -> list[Packed]:
+        phase_start = time.perf_counter()
+        mem = packed[-1]
+        out: list[Packed] = []
+        steps = self._steps
+        for tid in range(len(packed) - 1):
+            memo_key = (tid, packed[tid], mem)
+            pairs = steps.get(memo_key)
+            if pairs is None:
+                pairs = self._machine_steps(tid, packed[tid], mem)
+                steps[memo_key] = pairs
+            if pairs:
+                prefix = packed[:tid]
+                suffix = packed[tid + 1 : -1]
+                for new_cfg, new_mem in pairs:
+                    out.append(prefix + (new_cfg,) + suffix + (new_mem,))
+        self.phases.add("enumerate", time.perf_counter() - phase_start)
+        return out
+
+    def _machine_steps(self, tid: int, cfg: int, mem: int) -> tuple:
+        """Certified steps of one thread config, in machine-step order."""
+        stmt, ts = self._tcfgs.objects[cfg]
+        memory = self._mems.objects[mem]
+        pairs = []
+        for step in thread_candidate_steps(Thread(stmt, ts), memory, self.arch, tid):
+            step_cfg = self._encode_thread(step.stmt, step.tstate)
+            step_mem = self._encode_memory(step.memory)
+            cert = self.cert_cache.certify_keyed(
+                (tid, step_cfg, step_mem), step.stmt, step.tstate, step.memory, tid
+            )
+            if cert.certified:
+                pairs.append((step_cfg, step_mem))
+        cert = self._certify(tid, cfg, mem)
+        for msg in sorted(cert.promises, key=lambda m: (m.loc, m.val)):
+            step = promise_step(stmt, ts, memory, msg)
+            pairs.append(
+                (
+                    self._encode_thread(step.stmt, step.tstate),
+                    self._encode_memory(step.memory),
+                )
+            )
+        return tuple(pairs)
+
+    def is_final(self, packed: Packed) -> bool:
+        final = self._tcfg_final
+        return all(final[i] for i in packed[:-1])
+
+    def has_outstanding_promises(self, packed: Packed) -> bool:
+        prom = self._tcfg_prom
+        return any(prom[i] for i in packed[:-1])
+
+    def outcome(self, packed: Packed):
+        return self.decode(packed).outcome()
+
+    # -- accounting ----------------------------------------------------------
+    def finalise(self, stats, model: str) -> None:
+        """Fold the id-table and cert counters into stats; flush phases."""
+        stats.interned_keys = self._tcfgs.unique + self._mems.unique
+        stats.intern_hits = self._tcfgs.hits + self._mems.hits
+        stats.cert_calls += self.cert_cache.calls
+        stats.cert_memo_hits += self.cert_cache.hits
+        self.phases.flush(EXPLORE_PHASE_SECONDS, model=model)
+
+
+class PackedFlatBackend(ObjectFlatBackend):
+    """Flat-model backend with interned dense-id states.
+
+    Flat states have no recurring thread-config × memory structure to
+    memoise (the window and storage evolve together), so this backend
+    keeps the object enumeration and packs only the *identity*: states
+    intern to dense ids, the visited set holds ints, and ``key`` is the
+    identity function.  Full packing of the flat window is a ROADMAP
+    follow-up behind this same seam.
+    """
+
+    name = "packed"
+
+    def __init__(self, program, config, stats, successors_fn) -> None:
+        super().__init__(program, config, stats, successors_fn)
+        self._states = IdInterner()
+
+    def encode(self, state) -> int:
+        return self._states.intern(state.cache_key(), state)
+
+    def decode(self, packed: int):
+        return self._states.objects[packed]
+
+    def key(self, packed: int) -> int:
+        return packed
+
+    def is_final(self, packed: int) -> bool:
+        return self._states.objects[packed].is_final
+
+    def outcome(self, packed: int):
+        return self._states.objects[packed].outcome()
+
+    def successors(self, packed: int) -> list:
+        encode = self.encode
+        return [
+            encode(succ)
+            for succ in super().successors(self._states.objects[packed])
+        ]
+
+
+__all__ = ["Packed", "PackedFlatBackend", "PackedPromisingBackend"]

@@ -179,6 +179,34 @@ class SearchKernel:
         self.stats = KernelStats()
         self._deadline: Optional[float] = None
 
+    @classmethod
+    def for_backend(
+        cls,
+        backend,
+        successors: Callable[[object], Iterable],
+        *,
+        strategy: Strategy,
+        max_states: int,
+        deadline_seconds: Optional[float] = None,
+        dedup: bool = True,
+    ) -> "SearchKernel":
+        """Kernel whose visited-set identity comes from an execution backend.
+
+        ``backend`` is any object with the :class:`ExecutionBackend
+        <repro.backend.base.ExecutionBackend>` shape (duck-typed — this
+        module must not import the backend implementations); its
+        ``key(packed)`` becomes the kernel's ``key_fn``.  ``dedup=False``
+        drops the visited set exactly like passing ``key_fn=None``
+        directly (the ablation mode).
+        """
+        return cls(
+            successors,
+            strategy=strategy,
+            max_states=max_states,
+            deadline_seconds=deadline_seconds,
+            key_fn=backend.key if dedup else None,
+        )
+
     def deadline_exceeded(self) -> bool:
         if self._deadline is None:
             return False

@@ -38,7 +38,6 @@ from .machine import (
     FlatThread,
     WindowEntry,
     entry_address,
-    initial_state,
     try_eval,
     unresolved_branch_before,
     window_regs,
@@ -378,28 +377,30 @@ def explore_flat(program: Program, config: Optional[FlatConfig] = None) -> FlatR
     prepared = program
     if any(has_loops(t) for t in program.threads):
         prepared = unroll_program(program, config.loop_bound)
-    init = initial_state(prepared, config.arch)
+
+    # Lazy import: repro.backend imports flat.machine, so the module
+    # edge must point backend -> flat only.  The labelled transition
+    # relation is injected, keeping the backend package explorer-free.
+    from ..backend import make_flat_backend
+
+    backend = make_flat_backend(config.backend, prepared, config, stats, successors)
     outcomes = OutcomeSet()
 
-    def expand(state: FlatState) -> list[FlatState]:
-        if state.is_final:
-            outcomes.add(state.outcome())
+    def expand(packed) -> list:
+        if backend.is_final(packed):
+            outcomes.add(backend.outcome(packed))
             return []
-        result = []
-        for label, succ in successors(state, config):
-            if label == "restart":
-                stats.restarts += 1
-            result.append(succ)
-        return result
+        return backend.successors(packed)
 
-    kernel = SearchKernel(
+    kernel = SearchKernel.for_backend(
+        backend,
         expand,
         strategy=strategy_for(config),
         max_states=config.max_states,
         deadline_seconds=config.deadline_seconds,
-        key_fn=(lambda s: s.cache_key()) if config.dedup else None,
+        dedup=config.dedup,
     )
-    kernel.run([init])
+    kernel.run([backend.initial()])
     stats.states += kernel.stats.states
     stats.transitions += kernel.stats.transitions
     kernel.finish(stats)

@@ -130,6 +130,11 @@ class FlatState:
         The ``initial`` tuple is a per-program constant, so threads plus
         the versioned storage discriminate every reachable state; keeping
         it out of the key lets symmetric interleavings share one entry.
+
+        This is the ``object`` execution backend's visited-set key; the
+        ``packed`` backend (:class:`repro.backend.packed.PackedFlatBackend`)
+        interns it to a dense integer id once per distinct state, so its
+        visited set probes ints instead of re-hashing this deep tuple.
         """
         return (self.threads, self.storage)
 

@@ -224,8 +224,15 @@ class Job:
             cfg = self.effective_axiomatic_config()
         else:
             cfg = self.effective_flat_config()
+        # The execution backend changes the state representation, never the
+        # outcome set (conformance-tested), and defaulted to "object" before
+        # the field existed — omit it at the default so fingerprints (and
+        # thus the result cache) are unchanged for every pre-seam job, while
+        # a non-default backend still keys its own cache entries.
         cfg_items = sorted(
-            (f.name, repr(getattr(cfg, f.name))) for f in dataclasses.fields(cfg)
+            (f.name, repr(getattr(cfg, f.name)))
+            for f in dataclasses.fields(cfg)
+            if not (f.name == "backend" and getattr(cfg, f.name) == "object")
         )
         regs, locs = self.observables()
         parts = [

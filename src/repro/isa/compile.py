@@ -1,0 +1,218 @@
+"""Ahead-of-time program compilation for the packed execution backend.
+
+The operational models treat a statement as the thread's program counter:
+every step rewrites the statement into a continuation.  Those
+continuations are not arbitrary — they are exactly the statements the
+head-decomposition (:func:`~repro.promising.steps.split_head`) and the
+branch rule can produce — so the full set reachable from a program can be
+enumerated *statically, once*, before exploration starts.
+
+:class:`CompiledProgram` performs that closure and assigns every
+reachable statement a dense integer id, together with a static record
+(:class:`CompiledStmt`) of its head kind, register dependencies, and
+successor statement ids.  The packed backend then represents a thread's
+program counter as one int, and a machine state as a flat tuple of ints,
+instead of re-deriving structure from the AST on every visit.
+
+The compiled tables are *descriptive*, not a second semantics: dynamic
+behaviour (which timestamps a load may read, which writes certify) is
+still produced by the reference step functions in
+:mod:`repro.promising.steps`.  Compilation only precomputes what is
+invariant across all visits of a statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.ast import (
+    Assign,
+    Fence,
+    If,
+    Isb,
+    Load,
+    Seq,
+    Skip,
+    Stmt,
+    Store,
+)
+from ..lang.expr import Reg, expr_registers
+from ..lang.program import Program
+from ..promising.steps import is_terminated, normalise, split_head
+
+
+def _head_kind(head: Stmt) -> str:
+    if isinstance(head, Skip):
+        return "skip"
+    if isinstance(head, Load):
+        return "load"
+    if isinstance(head, Store):
+        return "store"
+    if isinstance(head, Fence):
+        return "fence"
+    if isinstance(head, Isb):
+        return "isb"
+    if isinstance(head, Assign):
+        return "assign"
+    if isinstance(head, If):
+        return "branch"
+    raise TypeError(f"cannot compile statement head {head!r}")
+
+
+def _head_registers(head: Stmt) -> tuple[tuple[Reg, ...], tuple[Reg, ...]]:
+    """Static (reads, writes) register dependencies of a statement head."""
+    if isinstance(head, Load):
+        return tuple(sorted(expr_registers(head.addr))), (head.reg,)
+    if isinstance(head, Store):
+        reads = sorted(expr_registers(head.addr) | expr_registers(head.data))
+        writes = (head.succ_reg,) if head.succ_reg is not None else ()
+        return tuple(reads), writes
+    if isinstance(head, Assign):
+        return tuple(sorted(expr_registers(head.expr))), (head.reg,)
+    if isinstance(head, If):
+        return tuple(sorted(expr_registers(head.cond))), ()
+    return (), ()
+
+
+def _static_successors(head: Stmt, rest: Optional[Stmt]) -> tuple[Stmt, ...]:
+    """The continuation statements a step from this head can produce.
+
+    Mirrors the step rules exactly: a branch yields the two
+    branch-rule continuations; every other head finishes and yields the
+    normalised remainder (``skip`` at the end of the thread); a
+    terminated thread has no continuation.
+    """
+    if isinstance(head, If):
+        succs = []
+        for taken in (head.then, head.orelse):
+            succ = taken if rest is None else Seq(taken, rest)
+            succs.append(normalise(succ))
+        return tuple(succs)
+    if isinstance(head, Skip):
+        return ()
+    return (normalise(rest) if rest is not None else Skip(),)
+
+
+@dataclass(frozen=True)
+class CompiledStmt:
+    """Static per-statement record of the compiled program.
+
+    ``succ_ids`` are the statically known continuation statement ids (a
+    branch lists both arms; a terminated statement lists none).  ``reads``
+    and ``writes`` are the head's register dependencies.
+    """
+
+    sid: int
+    stmt: Stmt
+    kind: str
+    terminated: bool
+    reads: tuple[Reg, ...]
+    writes: tuple[Reg, ...]
+    succ_ids: tuple[int, ...]
+
+
+class CompiledProgram:
+    """Statement-closure tables of one litmus program.
+
+    Built once per exploration job.  ``registers`` is the sorted global
+    register universe used by :meth:`TState.pack
+    <repro.promising.state.TState.pack>` for dense register encoding;
+    ``stmt_id`` maps any reachable statement to its dense id.
+    """
+
+    __slots__ = ("program", "registers", "reg_index", "_ids", "stmts")
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.registers: tuple[Reg, ...] = tuple(sorted(program.registers()))
+        self.reg_index: dict[Reg, int] = {
+            r: i for i, r in enumerate(self.registers)
+        }
+        self._ids: dict[Stmt, int] = {}
+        self.stmts: list[CompiledStmt] = []
+        for stmt in program.threads:
+            self._close(normalise(stmt))
+
+    # -- construction -----------------------------------------------------
+    def _close(self, root: Stmt) -> int:
+        """Discover the statement closure of ``root``, assigning ids."""
+        root_id = self._add(root)
+        worklist = [root_id]
+        while worklist:
+            record = self.stmts[worklist.pop()]
+            head, rest = split_head(record.stmt)
+            succ_ids = []
+            for succ in _static_successors(head, rest):
+                before = len(self._ids)
+                sid = self._add(succ)
+                succ_ids.append(sid)
+                if len(self._ids) != before:
+                    worklist.append(sid)
+            # Fill in the successor ids now that the children exist
+            # (records are frozen, so replace the list slot).
+            self.stmts[record.sid] = CompiledStmt(
+                sid=record.sid,
+                stmt=record.stmt,
+                kind=record.kind,
+                terminated=record.terminated,
+                reads=record.reads,
+                writes=record.writes,
+                succ_ids=tuple(succ_ids),
+            )
+        return root_id
+
+    def _add(self, stmt: Stmt) -> int:
+        sid = self._ids.get(stmt)
+        if sid is not None:
+            return sid
+        sid = len(self.stmts)
+        self._ids[stmt] = sid
+        head, _rest = split_head(stmt)
+        reads, writes = _head_registers(head)
+        self.stmts.append(
+            CompiledStmt(
+                sid=sid,
+                stmt=stmt,
+                kind=_head_kind(head),
+                terminated=is_terminated(stmt),
+                reads=reads,
+                writes=writes,
+                succ_ids=(),
+            )
+        )
+        return sid
+
+    # -- queries ----------------------------------------------------------
+    def stmt_id(self, stmt: Stmt) -> int:
+        """Dense id of a (normalised) statement.
+
+        Statements produced by the step functions are always in the
+        static closure; unseen statements are interned on the fly anyway
+        so the encoding stays total even for hand-built configurations.
+        """
+        sid = self._ids.get(stmt)
+        if sid is not None:
+            return sid
+        return self._close(normalise(stmt))
+
+    def record(self, sid: int) -> CompiledStmt:
+        return self.stmts[sid]
+
+    def statement(self, sid: int) -> Stmt:
+        return self.stmts[sid].stmt
+
+    @property
+    def n_statements(self) -> int:
+        return len(self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Compile ``program`` (run once per job, before exploration)."""
+    return CompiledProgram(program)
+
+
+__all__ = ["CompiledProgram", "CompiledStmt", "compile_program"]

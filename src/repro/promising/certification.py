@@ -335,8 +335,20 @@ class CertificationCache:
         self.calls = 0
 
     def certify(self, stmt: Stmt, ts: TState, memory: Memory, tid: TId) -> CertificationResult:
-        self.calls += 1
         key = (tid, stmt, ts.cache_key(), memory.cache_key())
+        return self.certify_keyed(key, stmt, ts, memory, tid)
+
+    def certify_keyed(
+        self, key, stmt: Stmt, ts: TState, memory: Memory, tid: TId
+    ) -> CertificationResult:
+        """Memoised certification under a caller-supplied key.
+
+        The key must identify the configuration at least as finely as the
+        default ``(tid, stmt, ts.cache_key(), memory.cache_key())``.  The
+        packed execution backend supplies its small integer-tuple keys
+        here, so the memo probe never re-hashes a deep state snapshot.
+        """
+        self.calls += 1
         result = self._memo.get(key)
         if result is not None:
             self.hits += 1

@@ -23,6 +23,13 @@ relation instead of enumerating it, so the outcome set is a sound
 under-approximation; the per-thread run-to-completion enumeration stays
 exhaustive regardless of the outer strategy (it must not invent partial
 register files).
+
+Both explorers run on a pluggable *execution backend*
+(:mod:`repro.backend`, selected by ``config.backend``): the drive logic
+below never touches ``TState``/``Memory`` directly — it certifies,
+enumerates and steps through the backend, which owns the state
+representation (reference object graphs, or compiled integer tuples)
+and the intern/cert/phase accounting that goes with it.
 """
 
 from __future__ import annotations
@@ -31,36 +38,12 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from ..explore import BaseSearchConfig, DepthFirst, SearchKernel, SearchStats, strategy_for
-from ..obs import metrics
-from ..obs.tracing import PhaseAccumulator
-from ..lang.ast import Stmt
-from ..lang.program import Loc, Program, TId
+from ..explore import BaseSearchConfig, SearchKernel, SearchStats, strategy_for
+from ..lang.program import Loc, Program
 from ..lang.transform import localise_private_locations, unroll_program
 from ..lang import has_loops
-from ..lang.kinds import Arch
 from ..outcomes import Outcome, OutcomeSet
-from .certification import (
-    DEFAULT_FUEL,
-    CertificationCache,
-    can_complete_without_promising,
-    find_and_certify,
-)
-from .intern import InternPool
-from .machine import MachineState, machine_transitions
-from .state import Memory, TState
-from .steps import is_terminated, non_promise_steps, promise_step
-
-# Phase timings stay OUT of ExplorationStats on purpose: job stats must
-# compare bit-identical between serial/parallel/cached runs, so anything
-# wall-clock-shaped lives in the metrics registry instead.  Accumulation
-# is two perf_counter reads per phase per state (see PhaseAccumulator);
-# the labeled counter is touched once per run.
-_EXPLORE_PHASE_SECONDS = metrics.counter(
-    "explore_phase_seconds_total",
-    "Wall time spent per explorer phase (certify/enumerate/intern).",
-    labels=("model", "phase"),
-)
+from .certification import DEFAULT_FUEL
 
 
 @dataclass
@@ -162,57 +145,6 @@ def _prepare(program: Program, config: ExploreConfig) -> tuple[Program, tuple[Lo
 # ---------------------------------------------------------------------------
 
 
-def _enumerate_thread_completions(
-    stmt: Stmt,
-    ts: TState,
-    memory: Memory,
-    arch: Arch,
-    tid: TId,
-    stats: ExplorationStats,
-    max_states: int,
-    pool: Optional[InternPool],
-) -> set[tuple]:
-    """All final register states of one thread under a fixed memory.
-
-    Non-promise phase of §7: memory is fixed, so the thread's behaviour is
-    independent of the other threads; we enumerate its executions and
-    collect the register file of every run that terminates with all
-    promises fulfilled.
-
-    Always exhaustive (plain DFS through the kernel) even when the outer
-    promise search is sampling: a sampled run must under-approximate the
-    *reachable memories*, never fabricate partial register files.  With
-    ``pool`` (dedup enabled) symmetric instruction interleavings that
-    reconverge on the same thread state are enumerated once, through
-    hash-consed ``(statement, thread-state)`` keys; without it the search
-    degenerates to the full execution tree (ablation mode).
-    """
-    results: set[tuple] = set()
-
-    def expand(node: tuple[Stmt, TState]) -> list[tuple[Stmt, TState]]:
-        cur_stmt, cur_ts = node
-        if is_terminated(cur_stmt) and not cur_ts.prom:
-            results.add(tuple(sorted(cur_ts.register_values().items())))
-            return []
-        return [
-            (step.stmt, step.tstate)
-            for step in non_promise_steps(cur_stmt, cur_ts, memory, arch, tid)
-        ]
-
-    key_fn = None
-    if pool is not None:
-        key_fn = lambda node: (node[0], pool.tstates.intern(node[1].cache_key()))  # noqa: E731
-    kernel = SearchKernel(
-        expand, strategy=DepthFirst(), max_states=max_states, key_fn=key_fn
-    )
-    kernel.run([(stmt, ts)])
-    stats.thread_enumeration_states += kernel.stats.states
-    stats.thread_dedup_hits += kernel.stats.dedup_hits
-    if kernel.stats.truncated:
-        stats.truncated = True
-    return results
-
-
 def explore(program: Program, config: Optional[ExploreConfig] = None) -> ExplorationResult:
     """Enumerate the outcomes of ``program`` (promise-first).
 
@@ -225,143 +157,48 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
     prepared, localised = _prepare(program, config)
     stats.localised_locations = localised
 
-    arch = config.arch
-    initial = MachineState.initial(prepared, arch)
+    # Lazy import: repro.backend imports this package's siblings, so the
+    # module edge must point backend -> promising only.
+    from ..backend import make_promising_backend
+
+    backend = make_promising_backend(config.backend, prepared, config, stats)
     outcomes = OutcomeSet()
 
-    pool = InternPool() if config.dedup else None
-    cert_cache = (
-        CertificationCache(arch, config.cert_fuel) if config.cert_memo else None
-    )
-
-    # Memoise per-thread completion enumeration across final-memory states:
-    # different promise interleavings frequently reconverge.
-    completion_cache: dict[tuple, set[tuple]] = {}
-    phases = PhaseAccumulator()
-
-    def expand(state: MachineState) -> list[MachineState]:
-        per_thread = []
-        can_finish = []
-        phase_start = time.perf_counter()
-        for tid, thread in enumerate(state.threads):
-            if cert_cache is not None:
-                # One sequential-graph build (memoised) answers both the
-                # promise enumeration and the can-finish question.
-                cert = cert_cache.certify(thread.stmt, thread.tstate, state.memory, tid)
-                can_finish.append(cert.can_complete)
-            else:
-                stats.cert_calls += 2
-                cert = find_and_certify(
-                    thread.stmt, thread.tstate, state.memory, arch, tid, config.cert_fuel
-                )
-                can_finish.append(
-                    can_complete_without_promising(
-                        thread.stmt, thread.tstate, state.memory, arch, tid, config.cert_fuel
-                    )
-                )
-            if not cert.complete:
-                stats.truncated = True
-            per_thread.append(cert)
-        phases.add("certify", time.perf_counter() - phase_start)
+    def expand(packed) -> list:
+        per_thread, can_finish = backend.certify_all(packed)
 
         # Can every thread finish under the current memory without any new
         # promise?  If so the current memory is a candidate final memory.
         if all(can_finish):
             stats.final_memories += 1
-            phase_start = time.perf_counter()
-            thread_results: list[set[tuple]] = []
-            feasible = True
-            for tid, thread in enumerate(state.threads):
-                if pool is not None:
-                    cache_key = (tid, thread.key(), state.memory.cache_key())
-                    if cache_key in completion_cache:
-                        stats.completion_memo_hits += 1
-                    else:
-                        completion_cache[cache_key] = _enumerate_thread_completions(
-                            thread.stmt,
-                            thread.tstate,
-                            state.memory,
-                            arch,
-                            tid,
-                            stats,
-                            config.max_states,
-                            pool,
-                        )
-                    regs = completion_cache[cache_key]
-                else:
-                    regs = _enumerate_thread_completions(
-                        thread.stmt,
-                        thread.tstate,
-                        state.memory,
-                        arch,
-                        tid,
-                        stats,
-                        config.max_states,
-                        None,
-                    )
-                if not regs:
-                    feasible = False
-                    break
-                thread_results.append(regs)
-            phases.add("enumerate", time.perf_counter() - phase_start)
-            if feasible:
-                final_memory = state.memory.final_values()
-                _accumulate_outcomes(outcomes, thread_results, final_memory)
+            thread_results = backend.completion_sets(packed)
+            if thread_results is not None:
+                _accumulate_outcomes(
+                    outcomes, thread_results, backend.final_memory(packed)
+                )
         elif not any(cert.promises for cert in per_thread):
             # No thread can finish and nobody can promise: a stuck state
             # (possible for ARM store exclusives, §4.3).
             stats.deadlocked_states += 1
 
-        successors: list[MachineState] = []
-        for tid, cert in enumerate(per_thread):
-            thread = state.threads[tid]
-            for msg in cert.promises:
-                step = promise_step(thread.stmt, thread.tstate, state.memory, msg)
-                successors.append(state.replace_thread(tid, step))
-        return successors
+        return backend.promise_successors(packed, per_thread)
 
-    kernel = SearchKernel(
+    kernel = SearchKernel.for_backend(
+        backend,
         expand,
         strategy=strategy_for(config),
         max_states=config.max_states,
         deadline_seconds=config.deadline_seconds,
-        key_fn=_timed_key_fn(pool, phases) if pool is not None else None,
+        dedup=config.dedup,
     )
-    kernel.run([initial])
+    kernel.run([backend.initial()])
     stats.promise_states += kernel.stats.states
     stats.promise_transitions += kernel.stats.transitions
     kernel.finish(stats)
 
-    _finalise_stats(stats, pool, cert_cache)
-    phases.flush(_EXPLORE_PHASE_SECONDS, model="promising")
+    backend.finalise(stats, model="promising")
     stats.elapsed_seconds = time.perf_counter() - start
     return ExplorationResult(outcomes, stats, program)
-
-
-def _timed_key_fn(pool: InternPool, phases: PhaseAccumulator):
-    """The hash-consing visited-set key, timed as the "intern" phase."""
-
-    def key_fn(state: MachineState):
-        t0 = time.perf_counter()
-        key = state.cache_key(pool)
-        phases.add("intern", time.perf_counter() - t0)
-        return key
-
-    return key_fn
-
-
-def _finalise_stats(
-    stats: ExplorationStats,
-    pool: Optional[InternPool],
-    cert_cache: Optional[CertificationCache],
-) -> None:
-    """Fold the run's intern-pool and cert-memo counters into the stats."""
-    if pool is not None:
-        stats.interned_keys = pool.unique
-        stats.intern_hits = pool.hits
-    if cert_cache is not None:
-        stats.cert_calls += cert_cache.calls
-        stats.cert_memo_hits += cert_cache.hits
 
 
 def _accumulate_outcomes(
@@ -403,43 +240,34 @@ def explore_naive(program: Program, config: Optional[ExploreConfig] = None) -> E
     prepared, localised = _prepare(program, config)
     stats.localised_locations = localised
 
-    initial = MachineState.initial(prepared, config.arch)
+    from ..backend import make_promising_backend
+
+    backend = make_promising_backend(config.backend, prepared, config, stats)
     outcomes = OutcomeSet()
-    pool = InternPool() if config.dedup else None
-    cert_cache = (
-        CertificationCache(config.arch, config.cert_fuel) if config.cert_memo else None
-    )
 
-    phases = PhaseAccumulator()
-
-    def expand(state: MachineState) -> list[MachineState]:
-        if state.is_final:
-            outcomes.add(state.outcome())
+    def expand(packed) -> list:
+        if backend.is_final(packed):
+            outcomes.add(backend.outcome(packed))
             return []
-        # Certification happens inside machine_transitions here, so the
-        # naive explorer's step enumeration and certify time are one
-        # phase by construction.
-        phase_start = time.perf_counter()
-        transitions = machine_transitions(state, config.cert_fuel, cert_cache=cert_cache)
-        phases.add("enumerate", time.perf_counter() - phase_start)
-        if not transitions and state.has_outstanding_promises:
+        successors = backend.successors(packed)
+        if not successors and backend.has_outstanding_promises(packed):
             stats.deadlocked_states += 1
-        return [transition.state for transition in transitions]
+        return successors
 
-    kernel = SearchKernel(
+    kernel = SearchKernel.for_backend(
+        backend,
         expand,
         strategy=strategy_for(config),
         max_states=config.max_states,
         deadline_seconds=config.deadline_seconds,
-        key_fn=_timed_key_fn(pool, phases) if pool is not None else None,
+        dedup=config.dedup,
     )
-    kernel.run([initial])
+    kernel.run([backend.initial()])
     stats.promise_states += kernel.stats.states
     stats.promise_transitions += kernel.stats.transitions
     kernel.finish(stats)
 
-    _finalise_stats(stats, pool, cert_cache)
-    phases.flush(_EXPLORE_PHASE_SECONDS, model="promising_naive")
+    backend.finalise(stats, model="promising_naive")
     stats.elapsed_seconds = time.perf_counter() - start
     return ExplorationResult(outcomes, stats, program)
 

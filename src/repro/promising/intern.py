@@ -54,6 +54,46 @@ class Interner:
         return len(self._table)
 
 
+class IdInterner:
+    """Maps hashable keys to *dense integer ids* with a side table of
+    canonical decoded objects.
+
+    The packed execution backend's degenerate interner: where
+    :class:`Interner` canonicalises deep tuples, an :class:`IdInterner`
+    replaces them with small ints, so downstream visited/memo tables key
+    on tuples of ids whose ``cache_key()`` is the identity function.
+    ``objects[id]`` holds the object supplied at first intern — the
+    canonical decoded form the backend hands back to the reference step
+    functions.
+    """
+
+    __slots__ = ("_ids", "objects", "hits")
+
+    def __init__(self) -> None:
+        self._ids: dict = {}
+        self.objects: list = []
+        self.hits: int = 0
+
+    def intern(self, key: Hashable, obj) -> int:
+        """Return the dense id of ``key``, registering ``obj`` if new."""
+        nid = self._ids.get(key)
+        if nid is not None:
+            self.hits += 1
+            return nid
+        nid = len(self.objects)
+        self._ids[key] = nid
+        self.objects.append(obj)
+        return nid
+
+    @property
+    def unique(self) -> int:
+        """Number of distinct keys seen."""
+        return len(self.objects)
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+
 class InternPool:
     """The interners one exploration run shares across its tables.
 
@@ -78,4 +118,4 @@ class InternPool:
         return self.tstates.unique + self.memories.unique + self.machines.unique
 
 
-__all__ = ["Interner", "InternPool"]
+__all__ = ["IdInterner", "Interner", "InternPool"]

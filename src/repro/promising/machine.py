@@ -160,6 +160,21 @@ class MachineTransition:
         return f"<T{self.tid} {self.step.kind}: {self.step.description}>"
 
 
+def thread_candidate_steps(
+    thread: Thread, memory: Memory, arch: Arch, tid: TId
+) -> list[ThreadStep]:
+    """The non-promise machine-step candidates of one thread.
+
+    Thread-local steps plus normal writes, in the order the machine-step
+    rule enumerates them; each still needs the certification filter.
+    Shared by :func:`machine_transitions` and the execution backends
+    (:mod:`repro.backend`) so both enumerate candidates identically.
+    """
+    return thread_local_steps(
+        thread.stmt, thread.tstate, memory, arch, tid
+    ) + normal_write_steps(thread.stmt, thread.tstate, memory, arch, tid)
+
+
 def machine_transitions(
     state: MachineState,
     fuel: int = DEFAULT_FUEL,
@@ -180,10 +195,7 @@ def machine_transitions(
     """
     transitions: list[MachineTransition] = []
     for tid, thread in enumerate(state.threads):
-        candidate_steps = thread_local_steps(
-            thread.stmt, thread.tstate, state.memory, state.arch, tid
-        ) + normal_write_steps(thread.stmt, thread.tstate, state.memory, state.arch, tid)
-        for step in candidate_steps:
+        for step in thread_candidate_steps(thread, state.memory, state.arch, tid):
             if cert_cache is not None:
                 ok = cert_cache.certify(step.stmt, step.tstate, step.memory, tid).certified
             else:
@@ -231,4 +243,5 @@ __all__ = [
     "MachineTransition",
     "machine_transitions",
     "run_deterministic",
+    "thread_candidate_steps",
 ]

@@ -263,6 +263,57 @@ class TState:
         new._ckey = None
         return new
 
+    def pack(self, registers: Sequence[Reg]) -> tuple:
+        """Flat-tuple encoding over a fixed register universe.
+
+        Bijective with the :meth:`key` equivalence classes as long as
+        every register this state mentions appears in ``registers`` (the
+        compiled program's sorted universe): the register file becomes a
+        dense tuple with ``None`` for never-written registers, which
+        preserves the absent-vs-``(0, 0)`` distinction :meth:`key` makes.
+        Used by the packed execution backend, whose visited/memo tables
+        key on these tuples instead of interned deep keys.
+        """
+        regs = self.regs
+        return (
+            tuple(sorted(self.prom)),
+            tuple(regs.get(r) for r in registers),
+            tuple(sorted(self.coh.items())),
+            self.vrOld,
+            self.vwOld,
+            self.vrNew,
+            self.vwNew,
+            self.vCAP,
+            self.vRel,
+            tuple(sorted(self.fwdb.items())),
+            tuple(self.xclb) if self.xclb is not None else None,
+        )
+
+    @classmethod
+    def unpack(cls, packed: tuple, registers: Sequence[Reg]) -> "TState":
+        """Inverse of :meth:`pack` (round-trip law: ``unpack(pack(ts)) == ts``)."""
+        new = cls.__new__(cls)
+        (
+            prom,
+            regs,
+            coh,
+            new.vrOld,
+            new.vwOld,
+            new.vrNew,
+            new.vwNew,
+            new.vCAP,
+            new.vRel,
+            fwdb,
+            xclb,
+        ) = packed
+        new.prom = frozenset(prom)
+        new.regs = {r: v for r, v in zip(registers, regs) if v is not None}
+        new.coh = dict(coh)
+        new.fwdb = {loc: Forward(*f) for loc, f in fwdb}
+        new.xclb = ExclBank(*xclb) if xclb is not None else None
+        new._ckey = None
+        return new
+
     def key(self) -> tuple:
         """Canonical hashable snapshot of the thread state."""
         return (

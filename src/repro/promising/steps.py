@@ -361,14 +361,24 @@ def _continue(rest: Optional[Stmt]) -> Stmt:
 # ---------------------------------------------------------------------------
 
 
-def _split_head(stmt: Stmt) -> tuple[Stmt, Optional[Stmt]]:
-    """Split a normalised statement into its head and the remainder."""
+def split_head(stmt: Stmt) -> tuple[Stmt, Optional[Stmt]]:
+    """Split a normalised statement into its head and the remainder.
+
+    Public because the program compilation pass
+    (:mod:`repro.isa.compile`) mirrors the step rules statically: the
+    statements reachable from a program are exactly the continuations
+    this decomposition (plus the branch rule) produces.
+    """
     stmt = normalise(stmt)
     if isinstance(stmt, Seq):
-        head, rest = _split_head(stmt.first)
+        head, rest = split_head(stmt.first)
         tail = stmt.second if rest is None else Seq(rest, stmt.second)
         return head, tail
     return stmt, None
+
+
+#: Backwards-compatible private alias (pre-seam internal name).
+_split_head = split_head
 
 
 def thread_local_steps(
@@ -486,6 +496,7 @@ __all__ = [
     "ThreadStep",
     "normalise",
     "is_terminated",
+    "split_head",
     "thread_local_steps",
     "promise_step",
     "normal_write_steps",

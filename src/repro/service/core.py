@@ -337,6 +337,12 @@ class ExplorationService:
         if not isinstance(seed, int) or isinstance(seed, bool):
             raise ServiceError("'seed' must be an integer")
 
+        from ..explore import BACKENDS
+
+        backend = options.get("backend", "object")
+        if not isinstance(backend, str) or backend not in BACKENDS:
+            raise ServiceError(f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}")
+
         models = payload.get("models", ["promising"])
         if isinstance(models, str):
             models = [m.strip() for m in models.split(",") if m.strip()]
@@ -398,6 +404,7 @@ class ExplorationService:
             samples=samples,
             sample_depth=sample_depth,
             seed=seed,
+            backend=backend,
         )
         if max_states is not None:
             search_kwargs["max_states"] = max_states

@@ -76,6 +76,7 @@ def _search_kwargs(args: argparse.Namespace) -> dict:
         samples=getattr(args, "samples", 256),
         sample_depth=getattr(args, "sample_depth", 4096),
         seed=getattr(args, "seed", 0),
+        backend=getattr(args, "backend", "object"),
     )
 
 
@@ -319,7 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="promising-arm",
         description="Promising-ARM/RISC-V exhaustive and interactive exploration tool",
     )
-    from ..explore import STRATEGIES
+    from ..explore import BACKENDS, STRATEGIES
 
     parser.add_argument("--arch", default="arm", help="arm (default) or riscv")
     parser.add_argument("--loop-bound", type=int, default=2, help="loop unrolling bound")
@@ -337,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="step bound of one random walk before restart")
     parser.add_argument("--seed", type=int, default=0,
                         help="PRNG seed of --strategy sample (same seed, same outcomes)")
+    parser.add_argument("--backend", choices=BACKENDS, default="object",
+                        help="execution backend: object walks the reference "
+                             "dataclass states; packed compiles the program once "
+                             "and explores interned integer-tuple states "
+                             "(same outcomes, much faster on large state spaces)")
     parser.add_argument("--log-format", choices=LOG_FORMATS, default="text",
                         help="structured log output: text (default) or json "
                              "(one JSON object per line on stderr)")

@@ -9,6 +9,7 @@ from repro.promising.state import (
     FWD_INIT,
     Memory,
     Msg,
+    TState,
     initial_tstate,
     vmax,
 )
@@ -130,3 +131,54 @@ class TestTState:
         ts = initial_tstate()
         ts.fwdb[0] = Forward(3, 1, True)
         assert ts.forward(0).xcl is True
+
+
+class TestSlotDriftGuards:
+    """Hand-rolled copies must keep up with ``__slots__``.
+
+    ``TState.copy``, ``TState.unpack`` and ``Memory.append`` build
+    instances via ``__new__`` and assign every attribute explicitly for
+    speed.  Adding a slot without extending them would silently ship
+    states with missing attributes; these tests statically diff the
+    assigned-attribute sets against ``__slots__`` so the drift fails CI
+    instead.
+    """
+
+    @staticmethod
+    def _assigned_attrs(func, target):
+        import ast
+        import inspect
+        import textwrap
+
+        tree = ast.parse(textwrap.dedent(inspect.getsource(func)))
+        return {
+            node.attr
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Store)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == target
+        }
+
+    def test_tstate_copy_assigns_every_slot(self):
+        assert self._assigned_attrs(TState.copy, "new") == set(TState.__slots__)
+
+    def test_tstate_unpack_assigns_every_slot(self):
+        assert self._assigned_attrs(TState.unpack, "new") == set(TState.__slots__)
+
+    def test_memory_append_assigns_every_slot(self):
+        assert self._assigned_attrs(Memory.append, "new") == set(Memory.__slots__)
+
+    def test_pack_covers_every_semantic_slot(self):
+        # ``pack`` reads every slot except the memoised ``_ckey``; guard
+        # by round-tripping a fully populated state.
+        ts = initial_tstate()
+        ts.prom = frozenset({3})
+        ts.regs["r1"] = (1, 2)
+        ts.coh[0] = 4
+        ts.vrOld, ts.vwOld, ts.vrNew = 1, 2, 3
+        ts.vwNew, ts.vCAP, ts.vRel = 4, 5, 6
+        ts.fwdb[8] = Forward(3, 1, True)
+        ts.xclb = ExclBank(2, 2)
+        registers = ("r1",)
+        assert TState.unpack(ts.pack(registers), registers) == ts
