@@ -37,6 +37,13 @@
 # and outcome digests to BENCH_backend.json (the ≥10x aggregate and
 # digest bit-identity are enforced by scripts/check_bench_regression.py).
 #
+# The distrib stage (scripts/bench_distrib.py) runs the corpus through
+# the SQLite work-queue coordinator at 1/2/4 fleet workers plus a warm
+# cache-served rerun, writing scaling rows, digests and the
+# effective-parallelism probe to BENCH_distrib.json (digest identity,
+# exactly-once and the scaling-or-hardware-limited claim are enforced
+# by scripts/check_bench_regression.py).
+#
 # Knobs: SWEEP_TESTS (battery size), SWEEP_WORKERS, SWEEP_MODELS,
 #        FUZZ_PER_FAMILY (fuzz corpus bound per cycle family), FUZZ_MODELS,
 #        SERVICE_REQUESTS (warm served requests in the service stage).
@@ -146,3 +153,20 @@ print(f"packed vs object (gated rows): {agg['speedup']}x "
 print(f"claims: {report['claims']}")
 EOF2
 echo "report written to BENCH_backend.json"
+
+echo "== distributed scaling (SQLite queue, 1/2/4 fleet workers; writes BENCH_distrib.json) =="
+python scripts/bench_distrib.py
+
+python - <<'EOF3'
+import json
+report = json.load(open("BENCH_distrib.json"))
+for row in report["rows"]:
+    print(f"{row['workers']} worker(s): {row['wall_seconds']}s "
+          f"(speedup {row['speedup_vs_1']}x, digest "
+          f"{'ok' if row['digest_match'] else 'MISMATCH'})")
+print(f"coordinator overhead: {report['coordinator_overhead_ratio']}x  "
+      f"effective parallelism: {report['effective_parallelism']}"
+      + ("  [hardware-limited]" if report["hardware_limited"] else ""))
+print(f"claims: {report['claims']}")
+EOF3
+echo "report written to BENCH_distrib.json"

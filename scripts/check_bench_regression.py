@@ -46,6 +46,18 @@ by default), then compares the fresh results job-by-job:
   (gated and context alike — the backend may never change semantics).
   Regeneration is ``scripts/bench_backend.py``'s job (via ``bench.sh``).
 
+* **Distributed artifact** — the committed ``BENCH_distrib.json`` must
+  parse against the distrib-scaling schema and record the PR 8 claims:
+  every scaling row's batch digest bit-identical to the pooled
+  reference, every job computed exactly once per row, the warm rerun
+  served entirely through the shared cache (nothing recomputed), and
+  coordinator overhead within the recorded bound.  The ≥``--min-distrib-
+  speedup`` 4-worker scaling claim is enforced only when the recording
+  machine's measured ``effective_parallelism`` reached 2 — a single-core
+  runner records ``hardware_limited`` instead, because no queue can
+  outrun the silicon.  Regeneration is ``scripts/bench_distrib.py``'s
+  job (via ``bench.sh``).
+
 Exit status: 0 clean, 1 regression found, 2 usage/baseline problems.
 
 Run it locally after touching an explorer::
@@ -167,6 +179,23 @@ def parse_args(argv: list[str] | None) -> argparse.Namespace:
         "--skip-backend",
         action="store_true",
         help="skip BENCH_backend.json validation entirely",
+    )
+    parser.add_argument(
+        "--distrib-baseline",
+        default=str(REPO_ROOT / "BENCH_distrib.json"),
+        help="tracked distributed-scaling report to schema-validate",
+    )
+    parser.add_argument(
+        "--min-distrib-speedup",
+        type=float,
+        default=1.7,
+        help="lowest acceptable recorded 4-worker distributed speedup "
+        "(enforced only when the artifact was recorded on multi-core hardware)",
+    )
+    parser.add_argument(
+        "--skip-distrib",
+        action="store_true",
+        help="skip BENCH_distrib.json validation entirely",
     )
     return parser.parse_args(argv)
 
@@ -469,6 +498,140 @@ def validate_backend_report(path: Path, min_speedup: float) -> list[str]:
     return failures
 
 
+#: ``BENCH_distrib.json`` required layout, in lockstep with
+#: ``scripts/bench_distrib.py``.
+DISTRIB_SCHEMA = {
+    "schema_version": None,
+    "name": None,
+    "generated_unix": None,
+    "tests": None,
+    "models": None,
+    "n_jobs": None,
+    "min_speedup": None,
+    "overhead_bound": None,
+    "effective_parallelism": None,
+    "hardware_limited": None,
+    "pooled": ("wall_seconds", "digest"),
+    "rows": None,
+    "warm": ("workers", "wall_seconds", "computed_jobs", "digest_match"),
+    "coordinator_overhead_ratio": None,
+    "speedup_at_4_workers": None,
+    "claims": (
+        "digests_identical",
+        "exactly_once",
+        "dedup_through_cache",
+        "coordinator_overhead_within_bound",
+        "scaling_demonstrated",
+    ),
+}
+
+DISTRIB_ROW_KEYS = (
+    "workers",
+    "wall_seconds",
+    "computed_jobs",
+    "lease_reclaims",
+    "digest",
+    "digest_match",
+    "speedup_vs_1",
+)
+
+
+def validate_distrib_report(path: Path, min_speedup: float) -> list[str]:
+    """Schema + recorded-claims validation of ``BENCH_distrib.json``."""
+    failures: list[str] = []
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"distrib baseline {path} unreadable: {exc}"]
+    if not isinstance(report, dict):
+        return [f"distrib baseline {path} is not a JSON object"]
+    for key, subkeys in DISTRIB_SCHEMA.items():
+        if key not in report:
+            failures.append(f"distrib baseline missing key {key!r}")
+            continue
+        if subkeys is None:
+            continue
+        block = report[key]
+        if not isinstance(block, dict):
+            failures.append(f"distrib baseline {key!r} must be an object")
+            continue
+        for subkey in subkeys:
+            if subkey not in block:
+                failures.append(f"distrib baseline missing {key}.{subkey}")
+    if failures:
+        return failures
+    rows = report["rows"]
+    if not isinstance(rows, list) or not rows:
+        return ["distrib baseline must record at least one scaling row"]
+    pooled_digest = report["pooled"]["digest"]
+    n_jobs = report["n_jobs"]
+    for row in rows:
+        missing = [k for k in DISTRIB_ROW_KEYS if k not in row]
+        if missing:
+            failures.append(f"distrib baseline row missing {missing}")
+            continue
+        label = f"distrib {row['workers']}-worker row"
+        # Semantics are non-negotiable on every row: same digests as the
+        # pooled reference, every job computed exactly once.
+        if row["digest"] != pooled_digest or not row["digest_match"]:
+            failures.append(
+                f"{label}: batch digest {row['digest']} != pooled {pooled_digest} — "
+                "the distributed path changed an outcome set"
+            )
+        if row["computed_jobs"] != n_jobs:
+            failures.append(
+                f"{label}: computed {row['computed_jobs']} of {n_jobs} jobs — "
+                "a job was lost or computed twice"
+            )
+    warm = report["warm"]
+    if warm["computed_jobs"] != 0:
+        failures.append(
+            f"distrib warm rerun recomputed {warm['computed_jobs']} job(s) — "
+            "dedup-through-cache broke"
+        )
+    if not warm["digest_match"]:
+        failures.append("distrib warm rerun digest diverged from the pooled reference")
+    overhead = report["coordinator_overhead_ratio"]
+    bound = report["overhead_bound"]
+    if not isinstance(overhead, (int, float)) or overhead <= 0:
+        failures.append(f"distrib coordinator_overhead_ratio must be positive, got {overhead!r}")
+    elif overhead > bound:
+        failures.append(
+            f"distrib coordinator overhead {overhead}x exceeds the recorded {bound}x bound"
+        )
+    hardware_limited = report["hardware_limited"]
+    speedup = report["speedup_at_4_workers"]
+    if hardware_limited:
+        # Recorded on a machine without real parallelism (effective
+        # parallelism < 2): the scaling claim is unprovable there and the
+        # artifact must say so rather than fake a number.
+        if report["effective_parallelism"] >= 2.0:
+            failures.append(
+                "distrib baseline claims hardware_limited but measured effective "
+                f"parallelism {report['effective_parallelism']}"
+            )
+    else:
+        if not isinstance(speedup, (int, float)) or speedup < min_speedup:
+            failures.append(
+                f"distrib 4-worker speedup {speedup!r} below the {min_speedup}x bar "
+                "on hardware that can parallelise"
+            )
+        if report["claims"]["scaling_demonstrated"] is not True:
+            failures.append(
+                "distrib baseline claim scaling_demonstrated must be true on "
+                "multi-core hardware"
+            )
+    for claim in (
+        "digests_identical",
+        "exactly_once",
+        "dedup_through_cache",
+        "coordinator_overhead_within_bound",
+    ):
+        if report["claims"][claim] is not True:
+            failures.append(f"distrib baseline claim {claim} must be true")
+    return failures
+
+
 def family(name: str) -> str:
     return name.split("+")[0]
 
@@ -573,6 +736,20 @@ def main(argv: list[str] | None = None) -> int:
         else:
             failures.append(f"backend baseline not found: {backend_path}")
             print(f"backend  : {backend_path} MISSING")
+
+    # -- distributed artifact -----------------------------------------------
+    if not args.skip_distrib:
+        distrib_path = Path(args.distrib_baseline)
+        if distrib_path.exists():
+            distrib_failures = validate_distrib_report(distrib_path, args.min_distrib_speedup)
+            failures.extend(distrib_failures)
+            print(
+                f"distrib  : {distrib_path} "
+                f"({'OK' if not distrib_failures else f'{len(distrib_failures)} problem(s)'})"
+            )
+        else:
+            failures.append(f"distrib baseline not found: {distrib_path}")
+            print(f"distrib  : {distrib_path} MISSING")
 
     # -- semantic comparison ----------------------------------------------
     compared = 0

@@ -1,0 +1,40 @@
+"""Distributed exploration: leased work queues, fleet workers, coordinator.
+
+The litmus-job sweep is embarrassingly parallel; this package removes the
+single-machine ceiling.  A :class:`~repro.distrib.backend.WorkBackend` is
+the shared lease ledger (in-memory for tests, SQLite across processes and
+machines), :func:`~repro.distrib.worker.run_worker` is the stateless
+fleet member, and :func:`~repro.distrib.coordinator.run_distributed` is
+the batch driver that sweep/fuzz route through under ``--distributed`` —
+producing reports bit-identical to the single-pool path.
+"""
+
+from .backend import (
+    DEFAULT_MAX_ATTEMPTS,
+    Claim,
+    ItemView,
+    MemoryBackend,
+    WorkBackend,
+    WorkerInfo,
+    open_backend,
+)
+from .coordinator import DistribConfig, DistribRun, run_distributed
+from .sqlite import SqliteBackend
+from .worker import DEFAULT_LEASE_SECONDS, WorkerStats, run_worker
+
+__all__ = [
+    "Claim",
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DistribConfig",
+    "DistribRun",
+    "ItemView",
+    "MemoryBackend",
+    "SqliteBackend",
+    "WorkBackend",
+    "WorkerInfo",
+    "WorkerStats",
+    "open_backend",
+    "run_distributed",
+    "run_worker",
+]

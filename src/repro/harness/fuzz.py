@@ -42,6 +42,7 @@ from ..promising.exhaustive import ExploreConfig
 _log = get_logger("harness.fuzz")
 
 if TYPE_CHECKING:  # litmus imports harness (runner); keep ours lazy.
+    from ..distrib.coordinator import DistribConfig
     from ..litmus.test import LitmusTest
 from .cache import ResultCache, open_cache
 from .jobs import Job, JobResult
@@ -283,13 +284,16 @@ def run_fuzz(
     explore_config: Optional[ExploreConfig] = None,
     axiomatic_config: Optional[AxiomaticConfig] = None,
     flat_config: Optional[FlatConfig] = None,
+    distrib: Optional[DistribConfig] = None,
 ) -> FuzzResult:
     """Run the differential fuzzing battery and (optionally) write a report.
 
     With ``tests=None`` the corpus is the deterministic cycle-generated
     battery (optionally restricted to ``families`` and truncated to
     ``max_tests``).  All jobs — every architecture and model — go through
-    the scheduler as one batch, so the worker pool stays saturated.
+    the scheduler as one batch, so the worker pool stays saturated.  With
+    ``distrib`` set the batch runs on a distributed work backend instead;
+    outcome digests are bit-identical between the two paths.
     """
     from ..litmus.synth import generate_cycle_battery
 
@@ -316,9 +320,16 @@ def run_fuzz(
         archs=[arch.value for arch in archs], workers=workers,
     )
     stats = BatchStats()
+    distrib_info = None
     start = time.perf_counter()
     with span("fuzz", name=name, jobs=len(jobs)):
-        results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache, stats=stats)
+        if distrib is not None:
+            from ..distrib.coordinator import run_distributed
+
+            run = run_distributed(jobs, config=distrib, timeout=timeout, cache=cache, stats=stats)
+            results, distrib_info = run.results, run.info
+        else:
+            results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache, stats=stats)
     wall = time.perf_counter() - start
 
     counterexamples, explained = differential_mismatches(jobs, results)
@@ -338,6 +349,7 @@ def run_fuzz(
         extra={
             "workers": workers,
             "timeout_seconds": timeout,
+            **({"distrib": distrib_info} if distrib_info is not None else {}),
             "fuzz": {
                 "corpus_size": len(tests),
                 "families": families_seen,

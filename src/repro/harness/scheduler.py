@@ -20,7 +20,7 @@ import sys
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from ..obs import metrics
 from ..obs.logging import bind_global, get_logger, log_event
@@ -99,25 +99,40 @@ def _invoke(payload: tuple[Job, Optional[float]]) -> JobResult:
     return execute_job(job, timeout=timeout)
 
 
-def _invoke_indexed(
-    payload: tuple[int, Job, Optional[float], float],
-) -> tuple[int, JobResult]:
-    """Worker-side wrapper: run a job and attach its observability delta.
+def execute_with_delta(
+    job: Job,
+    timeout: Optional[float] = None,
+    *,
+    queue_seconds: Optional[float] = None,
+) -> JobResult:
+    """Run one job and attach its observability delta to the result.
 
-    ``enqueued`` is the parent's ``time.monotonic()`` at submission; both
-    processes share the same clock (same boot), so ``start - enqueued``
-    is the job's queue wait.  The metrics-registry delta accumulated
-    while the job ran travels back on the result, where the parent folds
-    it into its own registry (and clears the field).
+    This is the single worker-side execution wrapper, shared by the
+    resident pool and the distributed fleet workers: the metrics-registry
+    delta accumulated while the job ran travels back on the result, where
+    the coordinating process folds it into its own registry (and clears
+    the field so a result can never replay its metrics).
     """
-    index, job, timeout, enqueued = payload
-    start = time.monotonic()
     registry = metrics.get_registry()
     before = registry.snapshot()
     result = execute_job(job, timeout=timeout)
-    result.queue_seconds = max(0.0, start - enqueued)
+    result.queue_seconds = queue_seconds
     result.metrics_delta = diff_snapshots(before, registry.snapshot()) or None
-    return index, result
+    return result
+
+
+def _invoke_indexed(
+    payload: tuple[int, Job, Optional[float], float],
+) -> tuple[int, JobResult]:
+    """Pool-worker wrapper around :func:`execute_with_delta`.
+
+    ``enqueued`` is the parent's ``time.monotonic()`` at submission; both
+    processes share the same clock (same boot), so ``start - enqueued``
+    is the job's queue wait.
+    """
+    index, job, timeout, enqueued = payload
+    queue_seconds = max(0.0, time.monotonic() - enqueued)
+    return index, execute_with_delta(job, timeout, queue_seconds=queue_seconds)
 
 
 def _worker_init() -> None:
@@ -244,6 +259,63 @@ class WorkerPool:
         # after every queued job has run to completion.
         self.terminate()
 
+    def __del__(self) -> None:
+        # Last-resort reaping for pools dropped without close/terminate —
+        # a leaked pool must not strand worker processes past its owner.
+        try:
+            self.terminate()
+        except Exception:
+            pass  # interpreter teardown: the pool may already be gone
+
+
+def plan_batch(
+    jobs: Sequence[Job], cache: Optional[ResultCache]
+) -> tuple[list[Optional[JobResult]], list[int], dict[int, int]]:
+    """Resolve cache hits and in-batch duplicates for one batch.
+
+    Returns ``(results, pending, duplicate_of)``: ``results`` holds the
+    recalled cache hits (``None`` elsewhere), ``pending`` the indices that
+    genuinely need execution, and ``duplicate_of`` maps each
+    content-identical duplicate index to the pending index that will
+    compute its outcome.  Shared by :func:`run_jobs` and the distributed
+    coordinator so both paths dedup and recall identically.
+    """
+    results: list[Optional[JobResult]] = [None] * len(jobs)
+    pending: list[int] = []
+    # In-batch dedup: content-identical jobs (e.g. a generated test that
+    # also appears in the catalogue) are executed once and fanned back
+    # out, with per-job annotations rebound like a cache hit.
+    first_with: dict[str, int] = {}
+    duplicate_of: dict[int, int] = {}
+    for index, job in enumerate(jobs):
+        hit = cache.get(job) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            continue
+        fingerprint = job.fingerprint()
+        if fingerprint in first_with:
+            duplicate_of[index] = first_with[fingerprint]
+        else:
+            first_with[fingerprint] = index
+            pending.append(index)
+    return results, pending, duplicate_of
+
+
+def rebind_duplicates(
+    jobs: Sequence[Job],
+    results: list[Optional[JobResult]],
+    duplicate_of: Mapping[int, int],
+) -> None:
+    """Fan computed results back out to their in-batch duplicates."""
+    for index, source in duplicate_of.items():
+        # Same fingerprint → same computed outcome; only the per-job
+        # annotations (name, expected verdict) differ.
+        results[index] = dataclasses.replace(
+            results[source],
+            name=jobs[index].test.name,
+            expected=jobs[index].test.expected_verdict(jobs[index].arch),
+        )
+
 
 def run_jobs(
     jobs: Sequence[Job],
@@ -273,24 +345,7 @@ def run_jobs(
     if workers == 0:
         workers = default_workers()
 
-    results: list[Optional[JobResult]] = [None] * len(jobs)
-    pending: list[int] = []
-    # In-batch dedup: content-identical jobs (e.g. a generated test that
-    # also appears in the catalogue) are executed once and fanned back
-    # out, with per-job annotations rebound like a cache hit.
-    first_with: dict[str, int] = {}
-    duplicate_of: dict[int, int] = {}
-    for index, job in enumerate(jobs):
-        hit = cache.get(job) if cache is not None else None
-        if hit is not None:
-            results[index] = hit
-            continue
-        fingerprint = job.fingerprint()
-        if fingerprint in first_with:
-            duplicate_of[index] = first_with[fingerprint]
-        else:
-            first_with[fingerprint] = index
-            pending.append(index)
+    results, pending, duplicate_of = plan_batch(jobs, cache)
 
     if pending:
         heartbeat = _Heartbeat(len(pending))
@@ -332,14 +387,7 @@ def run_jobs(
             with WorkerPool(min(workers, len(pending))) as pool:
                 pool.run(pending_jobs, timeout, on_result=_store)
 
-    for index, source in duplicate_of.items():
-        # Same fingerprint → same computed outcome; only the per-job
-        # annotations (name, expected verdict) differ.
-        results[index] = dataclasses.replace(
-            results[source],
-            name=jobs[index].test.name,
-            expected=jobs[index].test.expected_verdict(jobs[index].arch),
-        )
+    rebind_duplicates(jobs, results, duplicate_of)
 
     if stats is not None:
         stats.total += len(jobs)
@@ -351,4 +399,12 @@ def run_jobs(
     return results  # type: ignore[return-value]
 
 
-__all__ = ["BatchStats", "WorkerPool", "default_workers", "run_jobs"]
+__all__ = [
+    "BatchStats",
+    "WorkerPool",
+    "default_workers",
+    "execute_with_delta",
+    "plan_batch",
+    "rebind_duplicates",
+    "run_jobs",
+]

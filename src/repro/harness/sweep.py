@@ -23,6 +23,7 @@ from ..promising.exhaustive import ExploreConfig
 _log = get_logger("harness.sweep")
 
 if TYPE_CHECKING:  # litmus imports harness (runner); keep ours lazy.
+    from ..distrib.coordinator import DistribConfig
     from ..litmus.test import LitmusTest
 from .cache import ResultCache, open_cache
 from .jobs import Job, JobResult
@@ -123,8 +124,14 @@ def run_sweep(
     explore_config: Optional[ExploreConfig] = None,
     axiomatic_config: Optional[AxiomaticConfig] = None,
     flat_config: Optional[FlatConfig] = None,
+    distrib: Optional[DistribConfig] = None,
 ) -> SweepResult:
-    """Run a litmus battery across models and (optionally) write a report."""
+    """Run a litmus battery across models and (optionally) write a report.
+
+    With ``distrib`` set, the batch runs on a distributed work backend
+    (fleet workers) instead of the in-process scheduler; results and
+    report digests are bit-identical between the two paths.
+    """
     cache = open_cache(cache)
     jobs = build_jobs(
         tests,
@@ -145,22 +152,32 @@ def run_sweep(
         workers=workers,
     )
     stats = BatchStats()
+    distrib_info = None
     start = time.perf_counter()
     with span("sweep", name=name, jobs=len(jobs)):
-        results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache, stats=stats)
+        if distrib is not None:
+            from ..distrib.coordinator import run_distributed
+
+            run = run_distributed(jobs, config=distrib, timeout=timeout, cache=cache, stats=stats)
+            results, distrib_info = run.results, run.info
+        else:
+            results = run_jobs(jobs, workers=workers, timeout=timeout, cache=cache, stats=stats)
     wall = time.perf_counter() - start
+    extra = {
+        "workers": workers,
+        "timeout_seconds": timeout,
+        "arch": arch.value,
+        "n_tests": len(tests),
+    }
+    if distrib_info is not None:
+        extra["distrib"] = distrib_info
     report = build_report(
         jobs,
         results,
         name=name,
         wall_seconds=wall,
         cache=cache,
-        extra={
-            "workers": workers,
-            "timeout_seconds": timeout,
-            "arch": arch.value,
-            "n_tests": len(tests),
-        },
+        extra=extra,
     )
     if report_path is not None:
         write_report(report, report_path)

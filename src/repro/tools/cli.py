@@ -15,7 +15,10 @@ Sub-commands mirror how the paper's rmem-based tool is used:
   counterexample with its reproducing test source;
 * ``serve`` — start the long-lived exploration service: an HTTP/JSON
   front-end over a process-resident LRU, the persistent result cache,
-  and a warm worker pool, with request coalescing and micro-batching.
+  and a warm worker pool, with request coalescing and micro-batching;
+* ``work`` — join a distributed fleet: claim leased litmus jobs from a
+  shared work backend (``sweep``/``fuzz`` ``--distributed`` enqueue
+  them), execute them, and write results into the shared cache.
 """
 
 from __future__ import annotations
@@ -91,6 +94,24 @@ def _flat_config(args: argparse.Namespace) -> "FlatConfig":
     from ..flat import FlatConfig
 
     return FlatConfig(**_search_kwargs(args))
+
+
+def _distrib_config(args: argparse.Namespace):
+    """``--distributed`` knobs → a :class:`DistribConfig` (or ``None``)."""
+    if not getattr(args, "distributed", False):
+        return None
+    from ..distrib import DistribConfig
+    from ..harness import default_workers
+
+    if getattr(args, "external_workers", False):
+        fleet = 0
+    else:
+        fleet = args.workers if args.workers > 0 else default_workers()
+    return DistribConfig(
+        backend_url=getattr(args, "backend_url", None) or "",
+        workers=fleet,
+        stall_timeout=getattr(args, "stall_timeout", None),
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -213,6 +234,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         explore_config=_explore_config(args),
         axiomatic_config=AxiomaticConfig(loop_bound=args.loop_bound),
         flat_config=_flat_config(args),
+        distrib=_distrib_config(args),
     )
     print(sweep.describe())
     if args.report:
@@ -293,11 +315,32 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             explore_config=_explore_config(args),
             axiomatic_config=AxiomaticConfig(loop_bound=args.loop_bound),
             flat_config=_flat_config(args),
+            distrib=_distrib_config(args),
         )
     print(fuzz.describe())
     if args.report:
         print(f"report written to {args.report}")
     return 0 if fuzz.ok else 1
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    from ..distrib import run_worker
+
+    stats = run_worker(
+        args.backend_url,
+        args.cache_dir,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        poll_seconds=args.poll_seconds,
+        max_jobs=args.max_jobs,
+        idle_exit_seconds=args.idle_exit,
+    )
+    print(
+        f"worker {stats.worker_id}: {stats.claimed} claimed, "
+        f"{stats.computed} computed, {stats.cache_hits} cache hits, "
+        f"{stats.failures} failures, {stats.lost_leases} lost leases"
+    )
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -313,6 +356,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     run_server(config, args.host, args.port)
     return 0
+
+
+def _add_distrib_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--distributed", action="store_true",
+                        help="run the batch on a distributed work backend: --workers "
+                             "fleet processes are spawned locally unless "
+                             "--external-workers attaches to an existing fleet")
+    parser.add_argument("--backend-url", default=None,
+                        help="work backend shared with the fleet "
+                             "(sqlite:///path; default: ephemeral SQLite tmpdir)")
+    parser.add_argument("--external-workers", action="store_true",
+                        help="spawn no local workers; an external fleet "
+                             "(promising-arm work) serves the queue")
+    parser.add_argument("--stall-timeout", type=float, default=None,
+                        help="abort if no distributed item completes for this long")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -390,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--catalogue", action="store_true",
                               help="also include the hand-written catalogue tests "
                                    "(those with at most 3 threads)")
+    _add_distrib_args(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
     fuzz_parser = sub.add_parser(
@@ -414,7 +473,29 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument("--report", default=None, help="write a JSON fuzz report to this path")
     fuzz_parser.add_argument("--expected", action="store_true",
                              help="attach axiomatic-oracle expected verdicts to the corpus")
+    _add_distrib_args(fuzz_parser)
     fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    work_parser = sub.add_parser(
+        "work",
+        help="join a distributed fleet: claim and execute leased litmus jobs",
+    )
+    work_parser.add_argument("--backend-url", required=True,
+                             help="shared work backend: sqlite:///path/to/queue.db "
+                                  "(or a bare path)")
+    work_parser.add_argument("--cache-dir", default=None,
+                             help="shared persistent result cache directory")
+    work_parser.add_argument("--worker-id", default=None,
+                             help="stable worker identity (default host-pid)")
+    work_parser.add_argument("--lease-seconds", type=float, default=30.0,
+                             help="claim lease length; heartbeats extend it while running")
+    work_parser.add_argument("--poll-seconds", type=float, default=0.1,
+                             help="idle back-off between claim attempts")
+    work_parser.add_argument("--max-jobs", type=int, default=None,
+                             help="exit after claiming this many items (default: serve forever)")
+    work_parser.add_argument("--idle-exit", type=float, default=None,
+                             help="exit after the queue has been empty this long")
+    work_parser.set_defaults(func=cmd_work)
 
     serve_parser = sub.add_parser(
         "serve",
