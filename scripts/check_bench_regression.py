@@ -219,6 +219,14 @@ SERVICE_SCHEMA = {
     ),
     "speedup_cold_vs_warm_p50": None,
     "coalescing": ("concurrent_requests", "coalesced", "computed"),
+    "keep_alive": (
+        "connections",
+        "requests",
+        "requests_per_connection",
+        "close_p50_seconds",
+        "prior_close_p50_seconds",
+        "p50_no_worse_than_close",
+    ),
     "service_stats": None,
 }
 
@@ -261,6 +269,36 @@ def validate_service_report(path: Path, min_speedup: float) -> list[str]:
         value = report["warm_service"][field]
         if not isinstance(value, (int, float)) or value <= 0:
             failures.append(f"service warm_service.{field} must be a positive number")
+    keep_alive = report["keep_alive"]
+    connections = keep_alive["connections"]
+    requests = keep_alive["requests"]
+    if not isinstance(connections, int) or connections < 1:
+        failures.append(f"service keep_alive.connections must be >= 1 ({connections!r})")
+    elif not isinstance(requests, int) or requests <= connections:
+        # The whole point of keep-alive: strictly more requests than
+        # connections, i.e. connections actually got reused.
+        failures.append(
+            f"service keep-alive never reused a connection "
+            f"({requests!r} requests over {connections!r} connections)"
+        )
+    close_p50 = keep_alive["close_p50_seconds"]
+    if not isinstance(close_p50, (int, float)) or close_p50 <= 0:
+        failures.append(
+            f"service keep_alive.close_p50_seconds must be a positive number "
+            f"({close_p50!r})"
+        )
+    # Re-derive the claim from the recorded laps instead of trusting the
+    # flag: keep-alive must not be slower than the same-run
+    # ``Connection: close`` control lap.
+    elif (
+        keep_alive["p50_no_worse_than_close"] is not True
+        or report["warm_service"]["p50_seconds"] > close_p50
+    ):
+        failures.append(
+            "service keep-alive warm p50 regressed past the same-run "
+            "Connection-close control lap "
+            f"({report['warm_service']['p50_seconds']!r}s vs {close_p50!r}s)"
+        )
     return failures
 
 

@@ -16,6 +16,11 @@ What it does, end to end:
 4. Runs the same corpus through the ordinary in-process pool and diffs
    every job's outcome digest between the two reports.  The diff must be
    empty: distribution may never change semantics.
+5. Repeats the fleet run against a network-reachable queue: an HTTP
+   server mounts the work ledger at ``/v1/queue/<op>`` and two workers
+   join with ``--backend-url http://host:port`` and **no shared
+   filesystem at all** (no queue file, no cache directory).  The report
+   must again be digest-identical to the pooled run.
 
 Exit status: 0 on success, 1 on any assertion failure.
 """
@@ -45,24 +50,27 @@ LEASE_SECONDS = 2.0
 VICTIM = "w0"
 
 
-def spawn_worker(queue: Path, cache: Path, worker_id: str) -> subprocess.Popen:
+def spawn_worker(
+    backend_url: str, worker_id: str, cache: Path | None = None
+) -> subprocess.Popen:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.tools",
+        "work",
+        "--backend-url",
+        backend_url,
+        "--worker-id",
+        worker_id,
+        "--lease-seconds",
+        str(LEASE_SECONDS),
+        "--poll-seconds",
+        "0.05",
+    ]
+    if cache is not None:
+        command += ["--cache-dir", str(cache)]
     return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.tools",
-            "work",
-            "--backend-url",
-            str(queue),
-            "--cache-dir",
-            str(cache),
-            "--worker-id",
-            worker_id,
-            "--lease-seconds",
-            str(LEASE_SECONDS),
-            "--poll-seconds",
-            "0.05",
-        ],
+        command,
         cwd=REPO_ROOT,
         env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
     )
@@ -100,6 +108,86 @@ def kill_victim_mid_lease(queue: Path, victim: subprocess.Popen, deadline: float
     return False
 
 
+def digests(report: dict) -> dict:
+    return {
+        (j["name"], j["model"], j["arch"]): j["outcome_digest"] for j in report["jobs"]
+    }
+
+
+def diff_digests(left_report: dict, right_report: dict, failures: list[str], label: str) -> None:
+    left, right = digests(left_report), digests(right_report)
+    if left.keys() != right.keys():
+        failures.append(f"{label}: job sets differ: {left.keys() ^ right.keys()}")
+    diverged = [k for k in left.keys() & right.keys() if left[k] != right[k]]
+    if diverged:
+        failures.append(
+            f"{label}: outcome digests diverged on {len(diverged)} job(s): {diverged[:5]}"
+        )
+    print(f"{label}: {len(diverged)} difference(s) over {len(left)} jobs")
+
+
+def http_fleet_leg(tests, pooled_report: dict, tmp: Path) -> list[str]:
+    """Fleet over an HTTP queue: two workers, no shared filesystem."""
+    import queue as queue_module
+
+    from repro.distrib import DistribConfig
+    from repro.harness import run_fuzz
+    from repro.service import ServiceClient, ServiceConfig
+    from repro.service.http import run_server
+
+    ready: "queue_module.Queue[tuple[str, int]]" = queue_module.Queue()
+    server = threading.Thread(
+        target=run_server,
+        args=(ServiceConfig(workers=1, batch_max_delay=0.0), "127.0.0.1", 0),
+        kwargs={"on_ready": lambda host, port: ready.put((host, port))},
+        daemon=True,
+    )
+    server.start()
+    host, port = ready.get(timeout=60)
+    url = f"http://{host}:{port}"
+    print(f"http leg: queue mounted at {url}/v1/queue, 2 workers, no shared filesystem")
+    workers = [spawn_worker(url, f"h{i}") for i in range(2)]
+    try:
+        distributed = run_fuzz(
+            tests,
+            models=("promising", "axiomatic"),
+            report_path=tmp / "fuzz-http.json",
+            name="http-smoke",
+            distrib=DistribConfig(
+                backend_url=url,
+                workers=0,  # external fleet only
+                lease_seconds=LEASE_SECONDS,
+                stall_timeout=120.0,
+            ),
+        )
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in workers:
+            if worker.poll() is None:
+                try:
+                    worker.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+        ServiceClient(host, port).shutdown()
+        server.join(timeout=30)
+
+    failures: list[str] = []
+    info = distributed.report["extra"]["distrib"]
+    print(
+        f"http fleet: {distributed.report['n_jobs']} jobs, "
+        f"{info['jobs_computed']} computed + {info['jobs_cache_served']} cache-served, "
+        f"workers {[w['worker_id'] for w in info['workers']]}"
+    )
+    if not distributed.report["ok"]:
+        failures.append(f"http fuzz run not ok: {distributed.report['status_counts']}")
+    if info["jobs_computed"] + info["jobs_cache_served"] == 0:
+        failures.append("http fleet served no jobs — the workers never joined")
+    diff_digests(distributed.report, pooled_report, failures, "http digest diff vs pooled run")
+    return failures
+
+
 def main() -> int:
     tests = generate_cycle_battery(max_per_family=MAX_PER_FAMILY)
     print(f"corpus: {len(tests)} tests, {N_WORKERS} fleet workers, lease {LEASE_SECONDS}s")
@@ -107,7 +195,7 @@ def main() -> int:
     with tempfile.TemporaryDirectory(prefix="distrib-smoke-") as tmp:
         queue = Path(tmp) / "queue.db"
         cache = Path(tmp) / "cache"
-        workers = [spawn_worker(queue, cache, f"w{i}") for i in range(N_WORKERS)]
+        workers = [spawn_worker(str(queue), f"w{i}", cache) for i in range(N_WORKERS)]
         killed = {"mid_lease": False}
         killer = threading.Thread(
             target=lambda: killed.__setitem__(
@@ -149,6 +237,8 @@ def main() -> int:
             workers=2,
         )
 
+        http_failures = http_fleet_leg(tests, pooled.report, Path(tmp))
+
     failures: list[str] = []
     info = distributed.report["extra"]["distrib"]
     print(
@@ -187,18 +277,8 @@ def main() -> int:
         )
 
     # -- digest diff: distribution must not change a single outcome set --
-    def digests(report: dict) -> dict:
-        return {
-            (j["name"], j["model"], j["arch"]): j["outcome_digest"] for j in report["jobs"]
-        }
-
-    left, right = digests(distributed.report), digests(pooled.report)
-    if left.keys() != right.keys():
-        failures.append(f"job sets differ: {left.keys() ^ right.keys()}")
-    diverged = [k for k in left.keys() & right.keys() if left[k] != right[k]]
-    if diverged:
-        failures.append(f"outcome digests diverged on {len(diverged)} job(s): {diverged[:5]}")
-    print(f"digest diff vs pooled run: {len(diverged)} difference(s) over {len(left)} jobs")
+    diff_digests(distributed.report, pooled.report, failures, "digest diff vs pooled run")
+    failures.extend(http_failures)
 
     if failures:
         print(f"\n{len(failures)} failure(s):")

@@ -19,6 +19,7 @@ from .backend import (
     open_backend,
 )
 from .coordinator import DistribConfig, DistribRun, run_distributed
+from .http_backend import HttpWorkBackend, QueueHttpApi
 from .sqlite import SqliteBackend
 from .worker import DEFAULT_LEASE_SECONDS, WorkerStats, run_worker
 
@@ -28,8 +29,10 @@ __all__ = [
     "DEFAULT_MAX_ATTEMPTS",
     "DistribConfig",
     "DistribRun",
+    "HttpWorkBackend",
     "ItemView",
     "MemoryBackend",
+    "QueueHttpApi",
     "SqliteBackend",
     "WorkBackend",
     "WorkerInfo",

@@ -23,7 +23,10 @@ Two implementations ship here and in :mod:`repro.distrib.sqlite`:
 
 Both are driven through the same :func:`open_backend` URL scheme:
 ``memory://<name>`` and ``sqlite:///path/to/queue.db`` (a bare
-filesystem path also means SQLite).
+filesystem path also means SQLite).  A third implementation,
+:class:`~repro.distrib.http_backend.HttpWorkBackend`, speaks the same
+protocol to a ``promising-arm serve`` instance over ``http://host:port``
+— a fleet with no shared filesystem at all.
 """
 
 from __future__ import annotations
@@ -372,10 +375,16 @@ def open_backend(url: Union[str, WorkBackend]) -> WorkBackend:
 
     * ``memory://<name>`` — shared in-process queue (tests only);
     * ``sqlite:///path/to/queue.db`` — SQLite ledger on a path;
+    * ``http://host:port`` — the queue a ``promising-arm serve`` instance
+      mounts at ``/v1/queue/*`` (fleets with no shared filesystem);
     * any other string — treated as a filesystem path for SQLite.
     """
     if not isinstance(url, str):
         return url
+    if url.startswith("http://"):
+        from .http_backend import HttpWorkBackend
+
+        return HttpWorkBackend(url)
     if url.startswith("memory://"):
         name = url[len("memory://") :] or "default"
         with _MEMORY_LOCK:
@@ -396,7 +405,7 @@ def open_backend(url: Union[str, WorkBackend]) -> WorkBackend:
     if "://" in url:
         raise ValueError(
             f"unsupported backend url {url!r}; expected memory://<name>, "
-            "sqlite:///path, or a filesystem path"
+            "sqlite:///path, http://host:port, or a filesystem path"
         )
     return SqliteBackend(url)
 

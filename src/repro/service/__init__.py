@@ -18,19 +18,28 @@ from .core import (
     ServiceConfig,
     ServiceError,
     ServiceStats,
+    TokenBuckets,
     percentile,
     states_explored,
 )
-from .http import MAX_BODY_BYTES, PROMETHEUS_CONTENT_TYPE, ServiceServer, run_server
+from .http import (
+    API_PREFIX,
+    MAX_BODY_BYTES,
+    PROMETHEUS_CONTENT_TYPE,
+    ServiceServer,
+    run_server,
+)
 from .client import ServiceClient, ServiceClientError
 
 __all__ = [
+    "API_PREFIX",
     "SERVICE_SCHEMA_VERSION",
     "ExplorationService",
     "NormalizedRequest",
     "ServiceConfig",
     "ServiceError",
     "ServiceStats",
+    "TokenBuckets",
     "percentile",
     "states_explored",
     "MAX_BODY_BYTES",

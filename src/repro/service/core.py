@@ -33,7 +33,7 @@ import platform
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from .. import __version__
 from ..axiomatic.model import AxiomaticConfig
@@ -75,6 +75,11 @@ _SERVICE_JOBS = metrics.counter(
 _SERVICE_ERRORS = metrics.counter(
     "service_errors_total", "Failures inside the service, by kind.", labels=("kind",)
 )
+_SERVICE_ADMISSION = metrics.counter(
+    "service_admission_total",
+    "Explore admission decisions (accepted, queue_full, quota, draining).",
+    labels=("outcome",),
+)
 
 
 def _build_info() -> dict:
@@ -95,11 +100,61 @@ def states_explored(stats: dict) -> int:
 
 
 class ServiceError(Exception):
-    """A client-visible request failure (maps to an HTTP status)."""
+    """A client-visible request failure (maps to an HTTP status).
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    ``retry_after`` (seconds) is set on throttling/overload rejections
+    (429/503); the HTTP layer surfaces it as a ``Retry-After`` header so
+    well-behaved clients can back off exactly as long as needed.
+    """
+
+    def __init__(
+        self, message: str, status: int = 400, retry_after: Optional[float] = None
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+class TokenBuckets:
+    """Per-client token buckets: the /v1 explore quota ledger.
+
+    One bucket per identity-header value, refilled continuously at
+    ``refill_per_second`` up to ``capacity``.  A request costs one token
+    per job it expands into; an empty bucket yields the exact time until
+    enough tokens exist, which becomes the 429's ``Retry-After``.
+
+    Only touched from the event loop, so no lock is needed.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_second: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("quota capacity must be positive")
+        if refill_per_second <= 0:
+            raise ValueError("quota refill rate must be positive")
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self.clock = clock
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    def take(self, client_id: str, cost: float = 1.0) -> Optional[float]:
+        """Spend ``cost`` tokens; ``None`` on success, else retry-after seconds."""
+        now = self.clock()
+        tokens, stamp = self._buckets.get(client_id, (self.capacity, now))
+        tokens = min(self.capacity, tokens + (now - stamp) * self.refill_per_second)
+        # A request costing more than the whole bucket drains a full bucket
+        # instead of stalling forever: capacity is a burst cap, the refill
+        # rate still bounds long-run throughput.
+        cost = min(cost, self.capacity)
+        if tokens >= cost:
+            self._buckets[client_id] = (tokens - cost, now)
+            return None
+        self._buckets[client_id] = (tokens, now)
+        return (cost - tokens) / self.refill_per_second
 
 
 @dataclass
@@ -141,6 +196,25 @@ class ServiceConfig:
     max_jobs_per_request: int = 8
     #: Latencies kept for the /stats percentiles (ring buffer).
     latency_window: int = 4096
+    #: Admission control: once this many jobs are queued or in flight,
+    #: new explore requests get ``429 + Retry-After`` instead of piling
+    #: onto the dispatch queue (``0`` disables the check).
+    max_pending_jobs: int = 1024
+    #: ``Retry-After`` (seconds) suggested on a queue-depth 429.
+    admission_retry_after: float = 1.0
+    #: ``Retry-After`` (seconds) suggested on a drain-time 503.
+    drain_retry_after: float = 2.0
+    #: Longest a graceful drain waits for in-flight work before the
+    #: server hard-stops whatever is left.
+    drain_timeout: float = 30.0
+    #: Per-client token-bucket capacity for explore requests, keyed on
+    #: the identity header (one token per job; ``None`` = quotas off).
+    quota_tokens: Optional[float] = None
+    #: Tokens refilled per second per client.
+    quota_refill_per_second: float = 1.0
+    #: Work-queue ledger mounted at ``/v1/queue/*`` (``memory://<name>``
+    #: or ``sqlite:///path``; ``None`` = a fresh in-memory queue).
+    queue_url: Optional[str] = None
 
 
 @dataclass
@@ -167,6 +241,15 @@ class ServiceStats:
     job_errors: int = 0
     job_timeouts: int = 0
     batch_failures: int = 0
+    #: Admission accounting: requests bounced before any job ran — queue
+    #: depth over the limit, an exhausted client quota, or a drain in
+    #: progress — each with an explicit ``Retry-After``.
+    admission_rejections: int = 0
+    quota_rejections: int = 0
+    drain_rejections: int = 0
+    #: HTTP front-end accounting (requests ≫ connections under keep-alive).
+    connections: int = 0
+    http_requests: int = 0
     latencies: deque = field(default_factory=deque)
 
     @property
@@ -203,6 +286,8 @@ class NormalizedRequest:
     jobs: list[Job]
     timeout: Optional[float]
     include_outcomes: bool
+    #: Deadline-tier budget baked into the job configs (None = unbounded).
+    deadline_seconds: Optional[float] = None
 
 
 class ExplorationService:
@@ -226,6 +311,12 @@ class ExplorationService:
         self._batch_slots: Optional[asyncio.Semaphore] = None
         self._batch_tasks: set = set()
         self._running = False
+        self._draining = False
+        self.quotas: Optional[TokenBuckets] = (
+            TokenBuckets(self.config.quota_tokens, self.config.quota_refill_per_second)
+            if self.config.quota_tokens
+            else None
+        )
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> None:
@@ -235,7 +326,42 @@ class ExplorationService:
         slots = self.config.max_concurrent_batches or max(1, self.config.workers)
         self._batch_slots = asyncio.Semaphore(slots)
         self._running = True
+        self._draining = False
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+
+    def begin_drain(self) -> None:
+        """Stop admitting new cold work; everything accepted keeps running.
+
+        Cache hits and coalescing onto already-running computations stay
+        served; only work that would *start* a new computation is bounced
+        with ``503 + Retry-After``.
+        """
+        if not self._draining:
+            self._draining = True
+            log_event(_log, "drain started", queued=len(self._queue), inflight=len(self._inflight))
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown, phase one: finish queued and in-flight work.
+
+        Returns ``True`` once nothing is pending (``False`` if ``timeout``
+        expired first); :meth:`stop` afterwards finds nothing to fail, so
+        no accepted request is ever answered with the bare shutdown 503.
+        """
+        self.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._queue or self._inflight or self._batch_tasks:
+            if deadline is not None and time.monotonic() >= deadline:
+                log_event(
+                    _log,
+                    "drain timed out",
+                    level=30,  # logging.WARNING
+                    queued=len(self._queue),
+                    inflight=len(self._inflight),
+                )
+                return False
+            await asyncio.sleep(0.01)
+        log_event(_log, "drain complete")
+        return True
 
     async def stop(self) -> None:
         self._running = False
@@ -302,6 +428,23 @@ class ExplorationService:
         include_outcomes = options.get("include_outcomes", True)
         if not isinstance(include_outcomes, bool):
             raise ServiceError("'include_outcomes' must be a boolean")
+        # The deadline tier: a kernel-enforced wall-clock budget per job.
+        # Unlike 'timeout' (which kills the worker process), the kernel
+        # stops at the budget and returns what it found, explicitly
+        # flagged truncated — a cheap, bounded answer, never a silent one.
+        deadline_seconds = options.get("deadline_seconds")
+        if deadline_seconds is not None:
+            if (
+                isinstance(deadline_seconds, bool)
+                or not isinstance(deadline_seconds, (int, float))
+                or deadline_seconds <= 0
+                or deadline_seconds > self.config.max_timeout
+            ):
+                raise ServiceError(
+                    "'deadline_seconds' must be a number of seconds in "
+                    f"(0, {self.config.max_timeout}]"
+                )
+            deadline_seconds = float(deadline_seconds)
         max_states = options.get("max_states")
         if max_states is not None and (
             not isinstance(max_states, int) or not 1 <= max_states <= self.config.max_states_limit
@@ -408,6 +551,8 @@ class ExplorationService:
         )
         if max_states is not None:
             search_kwargs["max_states"] = max_states
+        if deadline_seconds is not None:
+            search_kwargs["deadline_seconds"] = deadline_seconds
         # Strategy and sampling knobs are ordinary config fields, so they
         # enter each job's fingerprint: a sampled run caches, coalesces,
         # and LRU-serves under its own key, never shadowing an exhaustive
@@ -432,10 +577,49 @@ class ExplorationService:
             jobs=jobs,
             timeout=timeout,
             include_outcomes=include_outcomes,
+            deadline_seconds=deadline_seconds,
         )
 
     # -- request handling ----------------------------------------------------
-    async def handle_explore(self, payload: object) -> tuple[int, dict]:
+    @staticmethod
+    def _rejection(exc: ServiceError) -> dict:
+        body = {"ok": False, "error": str(exc)}
+        if exc.retry_after is not None:
+            body["retry_after"] = round(exc.retry_after, 3)
+        return body
+
+    def _admit(self, request: NormalizedRequest, client_id: Optional[str]) -> None:
+        """Admission control: raises a 429 :class:`ServiceError` or returns.
+
+        Two gates, both with explicit ``Retry-After``: the global dispatch
+        queue depth (protects the service) and the per-client token bucket
+        keyed on the identity header (protects everyone else's share).
+        """
+        if self.config.max_pending_jobs:
+            depth = len(self._queue) + len(self._inflight)
+            if depth >= self.config.max_pending_jobs:
+                self.stats.admission_rejections += 1
+                _SERVICE_ADMISSION.inc(outcome="queue_full")
+                raise ServiceError(
+                    f"service overloaded: {depth} jobs already pending",
+                    status=429,
+                    retry_after=self.config.admission_retry_after,
+                )
+        if self.quotas is not None:
+            wait = self.quotas.take(client_id or "anonymous", cost=len(request.jobs))
+            if wait is not None:
+                self.stats.quota_rejections += 1
+                _SERVICE_ADMISSION.inc(outcome="quota")
+                raise ServiceError(
+                    f"quota exhausted for client {client_id or 'anonymous'!r}",
+                    status=429,
+                    retry_after=wait,
+                )
+        _SERVICE_ADMISSION.inc(outcome="accepted")
+
+    async def handle_explore(
+        self, payload: object, client_id: Optional[str] = None
+    ) -> tuple[int, dict]:
         """The full request path; returns ``(http_status, response_dict)``."""
         start = time.perf_counter()
         try:
@@ -443,16 +627,39 @@ class ExplorationService:
         except ServiceError as exc:
             self.stats.bad_requests += 1
             _SERVICE_REQUESTS.inc(outcome="bad_request")
-            return exc.status, {"ok": False, "error": str(exc)}
+            return exc.status, self._rejection(exc)
+        try:
+            self._admit(request, client_id)
+        except ServiceError as exc:
+            _SERVICE_REQUESTS.inc(outcome="rejected")
+            return exc.status, self._rejection(exc)
         self.stats.requests += 1
         self.stats.jobs += len(request.jobs)
-        try:
-            resolved = await asyncio.gather(
-                *(self._resolve(job, request.timeout) for job in request.jobs)
-            )
-        except ServiceError as exc:
-            _SERVICE_REQUESTS.inc(outcome="error")
-            return exc.status, {"ok": False, "error": str(exc)}
+        # Fast path: when every job is already LRU-resident the whole
+        # request is answerable without touching the event loop — no
+        # coroutines, no gather, no scheduler round-trip.  This is the
+        # steady state of a warm service, so it is worth keeping flat.
+        fast: Optional[list[tuple[JobResult, str]]] = []
+        for job in request.jobs:
+            hit = self.lru.get(job)
+            if hit is None:
+                fast = None
+                break
+            fast.append((hit, "lru"))
+        if fast is not None:
+            self.stats.lru_hits += len(fast)
+            resolved = fast
+        else:
+            try:
+                resolved = await asyncio.gather(
+                    *(self._resolve(job, request.timeout) for job in request.jobs)
+                )
+            except ServiceError as exc:
+                if exc.retry_after is not None and exc.status == 503:
+                    self.stats.drain_rejections += 1
+                    _SERVICE_ADMISSION.inc(outcome="draining")
+                _SERVICE_REQUESTS.inc(outcome="error")
+                return exc.status, self._rejection(exc)
         rows = []
         total_cost = {"states_explored": 0, "queue_ms": 0.0, "compute_ms": 0.0}
         served_from_counts: dict[str, int] = {}
@@ -498,6 +705,12 @@ class ExplorationService:
             "cost": total_cost,
             "results": rows,
         }
+        if request.deadline_seconds is not None:
+            # Deadline-tier responses say so: the budget that shaped them
+            # and whether any row was cut short by it.  Per-row
+            # ``truncated``/``sampled`` flags carry the fine grain.
+            response["deadline_seconds"] = request.deadline_seconds
+            response["truncated"] = any(result.truncated for result, _ in resolved)
         return 200, response
 
     async def _resolve(self, job: Job, timeout: Optional[float]) -> tuple[JobResult, str]:
@@ -527,8 +740,15 @@ class ExplorationService:
             CACHE_REQUESTS.inc(layer="coalesced", outcome="hit")
             result, _label = await asyncio.shield(inflight)
             return self._rebind(result, job), "coalesced"
-        if not self._running:
-            raise ServiceError("service stopping", status=503)
+        if not self._running or self._draining:
+            # New arrivals only: cache hits and coalesced joins above were
+            # already served, and queued/in-flight work keeps running to
+            # completion — the graceful-drain contract.
+            raise ServiceError(
+                "service draining" if self._running else "service stopping",
+                status=503,
+                retry_after=self.config.drain_retry_after,
+            )
         future = self._loop.create_future()
         self._inflight[fingerprint] = future
         self._queue.append((job, timeout, future, time.monotonic()))
@@ -706,8 +926,14 @@ class ExplorationService:
 
     # -- introspection -------------------------------------------------------
     def healthz(self) -> dict:
+        if not self._running:
+            status = "stopping"
+        elif self._draining:
+            status = "draining"
+        else:
+            status = "ok"
         return {
-            "status": "ok" if self._running else "stopping",
+            "status": status,
             "schema_version": SERVICE_SCHEMA_VERSION,
             "build": _build_info(),
             "uptime_seconds": time.monotonic() - self.stats.started_monotonic,
@@ -778,6 +1004,21 @@ class ExplorationService:
             "inflight": len(self._inflight),
             "workers": self.config.workers,
             "pool": "resident" if self._pool is not None else "inline",
+            "http": {
+                "connections": stats.connections,
+                "requests": stats.http_requests,
+            },
+            "admission": {
+                "max_pending_jobs": self.config.max_pending_jobs,
+                "quota_tokens": self.config.quota_tokens,
+                "quota_refill_per_second": (
+                    self.config.quota_refill_per_second if self.quotas else None
+                ),
+                "queue_full_rejections": stats.admission_rejections,
+                "quota_rejections": stats.quota_rejections,
+                "drain_rejections": stats.drain_rejections,
+                "draining": self._draining,
+            },
         }
 
 
@@ -788,6 +1029,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceStats",
+    "TokenBuckets",
     "percentile",
     "states_explored",
 ]

@@ -1,30 +1,44 @@
-"""Asyncio HTTP/JSON front-end for the exploration service.
+"""Asyncio HTTP/JSON front-end for the exploration service (API v1).
 
 A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
-frameworks, no new dependencies — speaking exactly the protocol the
-blocking :mod:`repro.service.client` consumes:
+frameworks, no new dependencies — serving one versioned surface:
 
-* ``GET /healthz`` — liveness (status, uptime, worker mode, build info);
-* ``GET /stats``   — cache hit rates, batch sizes, latency percentiles;
-* ``GET /metrics`` — the process-wide metrics registry in Prometheus
-  text exposition format (kernel, pool, and cache-layer series);
-* ``POST /explore`` — one litmus job request (see
+* ``GET /v1/healthz`` — liveness (status, uptime, worker mode, build);
+* ``GET /v1/stats``   — cache hit rates, batching, latency percentiles,
+  admission/quota accounting, keep-alive connection reuse;
+* ``GET /v1/metrics`` — the process-wide metrics registry in Prometheus
+  text exposition format;
+* ``POST /v1/explore`` — one litmus job request (see
   :meth:`~repro.service.core.ExplorationService.normalize` for the body);
-* ``POST /shutdown`` — graceful stop (used by CI and the benchmark).
+* ``POST /v1/queue/<op>`` — the distributed work-queue protocol
+  (:class:`~repro.distrib.http_backend.QueueHttpApi`): fleets of
+  ``promising-arm work`` claim leased items here with no shared
+  filesystem, fencing tokens intact over the wire;
+* ``POST /v1/shutdown`` — graceful drain and stop (CI, the benchmark).
 
-Connections are one-request-per-connection (``Connection: close``): the
-service's economics are dominated by exploration and caching, not TCP
-handshakes on localhost, and the absence of keep-alive state keeps the
-parser ~100 lines and robust.
+Unversioned paths (the PR 4 protocol) keep answering, tagged with a
+``Deprecation`` header, so old clients survive the cutover.
+
+Connections are **keep-alive** with pipelining: requests are parsed as
+they arrive, each runs concurrently (bounded per connection), and
+responses are written strictly in request order, as HTTP/1.1 requires.
+Only the *read* of a request runs under a deadline; exploration time is
+governed by per-job budgets, and an idle keep-alive connection is closed
+quietly after :data:`KEEPALIVE_IDLE_TIMEOUT`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import logging
+import math
 import time
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from ..obs import metrics
 from ..obs.logging import bind, get_logger, log_event, new_request_id, sanitize_request_id
 from .core import ExplorationService, ServiceConfig
 
@@ -34,12 +48,19 @@ _log = get_logger("service.http")
 #: exposition format); JSON everywhere else.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
+#: Version prefix of the current HTTP surface.
+API_PREFIX = "/v1"
+
+#: Identity header the per-client explore quotas key on.
+CLIENT_ID_HEADER = "x-client-id"
+
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -57,6 +78,43 @@ MAX_HEADERS = 100
 #: stalled or byte-dripping connection cannot pin a handler forever.
 READ_TIMEOUT = 30.0
 
+#: An idle keep-alive connection (no new request line) is closed quietly
+#: after this long.
+KEEPALIVE_IDLE_TIMEOUT = 120.0
+
+#: Pipelined requests allowed in flight at once on one connection; the
+#: reader stops parsing further requests (TCP backpressure) beyond this.
+MAX_INFLIGHT_PER_CONNECTION = 32
+
+_HTTP_CONNECTIONS = metrics.counter(
+    "service_http_connections_total", "TCP connections accepted by the service front-end."
+)
+_HTTP_REQUESTS = metrics.counter(
+    "service_http_requests_total",
+    "HTTP requests served, by API surface (v1 or deprecated legacy paths).",
+    labels=("api",),
+)
+
+
+@dataclass
+class _Response:
+    """One response awaiting its turn on the connection's write queue."""
+
+    status: int
+    payload: Union[dict, str]
+    request_id: str
+    headers: dict = field(default_factory=dict)
+    close: bool = False
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Per-connection bookkeeping (the server's drain logic polls busy)."""
+
+    writer: asyncio.StreamWriter
+    busy: int = 0
+    broken: bool = False
+
 
 class ServiceServer:
     """Bind an :class:`ExplorationService` to a listening TCP socket."""
@@ -66,12 +124,29 @@ class ServiceServer:
         service: ExplorationService,
         host: str = "127.0.0.1",
         port: int = 8765,
+        *,
+        queue_backend=None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
+        self._connections: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        # The /v1/queue mount: an explicit backend wins (tests inject
+        # clock-controlled ledgers), else the configured URL, else a
+        # fresh in-memory queue private to this server.
+        from ..distrib.backend import MemoryBackend, open_backend
+        from ..distrib.http_backend import QueueHttpApi
+
+        if queue_backend is None:
+            if service.config.queue_url:
+                queue_backend = open_backend(service.config.queue_url)
+            else:
+                queue_backend = MemoryBackend()
+        self.queue_backend = queue_backend
+        self.queue_api = QueueHttpApi(queue_backend)
 
     async def start(self) -> tuple[str, int]:
         """Start the service and the listener; returns ``(host, port)``.
@@ -88,84 +163,228 @@ class ServiceServer:
         await self._shutdown.wait()
 
     async def stop(self) -> None:
+        """Graceful stop: no new connections, drain work, then tear down."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Everything accepted finishes (new cold arrivals get 503 +
+        # Retry-After); only a drain-timeout overrun is hard-failed by
+        # service.stop() below.
+        await self.service.drain(timeout=self.service.config.drain_timeout)
+        # Give handlers a moment to flush responses already computed,
+        # then close the (now idle) keep-alive connections under them.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and any(c.busy for c in self._connections):
+            await asyncio.sleep(0.01)
+        for connection in list(self._connections):
+            connection.writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(self._conn_tasks, timeout=5.0)
+            for task in list(self._conn_tasks):
+                task.cancel()
         await self.service.stop()
+        self.queue_backend.close()
         self._shutdown.set()
 
     # -- connection handling -------------------------------------------------
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        request_id = new_request_id()
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        self.service.stats.connections += 1
+        _HTTP_CONNECTIONS.inc()
+        responses: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_loop(connection, responses))
+        inflight = asyncio.Semaphore(MAX_INFLIGHT_PER_CONNECTION)
+        request_tasks: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
         try:
-            status, payload, request_id = await self._respond(reader, request_id)
-        except Exception:
-            status, payload = 500, {"ok": False, "error": "internal server error"}
-        # /metrics answers Prometheus text; everything else is JSON.
-        if isinstance(payload, str):
-            body = payload.encode()
+            first = True
+            while True:
+                # Waiting for the *next* request line is the keep-alive
+                # idle state: time it out quietly.  A connection that sent
+                # nothing at all still gets the old explicit 400.
+                try:
+                    request_line = await asyncio.wait_for(
+                        reader.readline(),
+                        READ_TIMEOUT if first else KEEPALIVE_IDLE_TIMEOUT,
+                    )
+                except asyncio.TimeoutError:
+                    if first:
+                        await self._finish(
+                            responses,
+                            connection,
+                            400,
+                            f"request not received within {READ_TIMEOUT}s",
+                        )
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not request_line:
+                    break  # EOF: the client hung up between requests.
+                try:
+                    parsed = await asyncio.wait_for(
+                        self._read_request(reader, request_line), READ_TIMEOUT
+                    )
+                except asyncio.TimeoutError:
+                    await self._finish(
+                        responses,
+                        connection,
+                        400,
+                        f"request not received within {READ_TIMEOUT}s",
+                    )
+                    break
+                except (asyncio.IncompleteReadError, asyncio.LimitOverrunError, ConnectionError):
+                    await self._finish(
+                        responses, connection, 400, "truncated or oversized request"
+                    )
+                    break
+                if len(parsed) == 2:
+                    # A parser error: framing is no longer trustworthy, so
+                    # answer it and close.
+                    status, payload = parsed
+                    await self._finish(responses, connection, status, payload["error"])
+                    break
+                first = False
+                method, path, headers, body = parsed
+                close_requested = self._wants_close(parsed)
+                await inflight.acquire()
+                future = loop.create_future()
+                connection.busy += 1
+                await responses.put(future)
+                request_task = asyncio.create_task(
+                    self._process(method, path, headers, body, future, close_requested, inflight)
+                )
+                request_tasks.add(request_task)
+                request_task.add_done_callback(request_tasks.discard)
+                if close_requested:
+                    break
+        finally:
+            await responses.put(None)
+            with contextlib.suppress(Exception):
+                await writer_task
+            for request_task in request_tasks:
+                request_task.cancel()
+            self._connections.discard(connection)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    def _wants_close(parsed) -> bool:
+        _method, _path, headers, _body = parsed
+        tokens = {t.strip().lower() for t in headers.get("connection", "").split(",")}
+        if "close" in tokens:
+            return True
+        # HTTP/1.0 requesters must opt *in* to keep-alive.
+        version = headers.get("_http_version", "HTTP/1.1")
+        return version == "HTTP/1.0" and "keep-alive" not in tokens
+
+    async def _finish(
+        self, responses: asyncio.Queue, connection: _Connection, status: int, error: str
+    ) -> None:
+        """Queue a connection-closing error response (parser failures)."""
+        future = asyncio.get_running_loop().create_future()
+        connection.busy += 1
+        future.set_result(
+            _Response(status, {"ok": False, "error": error}, new_request_id(), close=True)
+        )
+        await responses.put(future)
+
+    async def _write_loop(self, connection: _Connection, responses: asyncio.Queue) -> None:
+        """Write responses strictly in request order (the pipelining law)."""
+        writer = connection.writer
+        while True:
+            future = await responses.get()
+            if future is None:
+                return
+            try:
+                response: _Response = await future
+            except asyncio.CancelledError:
+                connection.busy -= 1
+                raise
+            except Exception:
+                response = _Response(
+                    500, {"ok": False, "error": "internal server error"}, new_request_id()
+                )
+            try:
+                if not connection.broken:
+                    writer.write(self._encode(response))
+                    await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                # The client vanished: swallow the rest of the pipeline's
+                # writes but keep consuming futures so handlers finish.
+                connection.broken = True
+            finally:
+                connection.busy -= 1
+
+    def _encode(self, response: _Response) -> bytes:
+        if isinstance(response.payload, str):
+            body = response.payload.encode()
             content_type = PROMETHEUS_CONTENT_TYPE
         else:
-            body = json.dumps(payload).encode()
+            body = json.dumps(response.payload).encode()
             content_type = "application/json"
-        head = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"X-Request-Id: {request_id}\r\n"
-            "Connection: close\r\n\r\n"
-        ).encode()
-        try:
-            writer.write(head + body)
-            await writer.drain()
-        except (ConnectionError, BrokenPipeError):
-            pass
-        finally:
-            writer.close()
+        lines = [
+            f"HTTP/1.1 {response.status} {_STATUS_TEXT.get(response.status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"X-Request-Id: {response.request_id}",
+        ]
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append("Connection: close" if response.close else "Connection: keep-alive")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
 
-    async def _respond(
-        self, reader: asyncio.StreamReader, request_id: str
-    ) -> tuple[int, Union[dict, str], str]:
-        # Only the *read* runs under the deadline: a slow or silent
-        # client is cut off, while a legitimately slow exploration in
-        # _route keeps its own per-job timeout budget.
-        try:
-            parsed = await asyncio.wait_for(self._read_request(reader), READ_TIMEOUT)
-        except asyncio.TimeoutError:
-            return (
-                400,
-                {"ok": False, "error": f"request not received within {READ_TIMEOUT}s"},
-                request_id,
-            )
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            return 400, {"ok": False, "error": "truncated or oversized request"}, request_id
-        if isinstance(parsed, tuple) and len(parsed) == 2:
-            return (*parsed, request_id)  # an error response from the parser
-        method, path, headers, body = parsed
+    async def _process(
+        self,
+        method: str,
+        path: str,
+        headers: dict,
+        body: bytes,
+        future: asyncio.Future,
+        close_requested: bool,
+        inflight: asyncio.Semaphore,
+    ) -> None:
+        """Run one request to completion and resolve its ordered slot."""
         # A client-supplied X-Request-Id (sanitized) wins, so one id can
         # correlate client logs, service logs, and the echoed header.
-        request_id = sanitize_request_id(headers.get("x-request-id")) or request_id
+        request_id = sanitize_request_id(headers.get("x-request-id")) or new_request_id()
         start = time.perf_counter()
-        with bind(request_id=request_id):
-            status, payload = await self._route(method, path, body)
-            if path == "/explore" and isinstance(payload, dict):
-                payload.setdefault("request_id", request_id)
-            log_event(
-                _log,
-                "request",
-                method=method,
-                path=path,
-                status=status,
-                seconds=round(time.perf_counter() - start, 6),
-            )
-        return status, payload, request_id
+        try:
+            with bind(request_id=request_id):
+                status, payload, extra = await self._route(
+                    method, path, headers, body, request_id
+                )
+                # Per-request lines are debug: at keep-alive request rates
+                # the aggregate lives in the metrics (request counter +
+                # latency histogram) and only anomalies earn an info line.
+                log_event(
+                    _log,
+                    "request",
+                    level=logging.DEBUG if status < 400 else logging.INFO,
+                    method=method,
+                    path=path,
+                    status=status,
+                    seconds=round(time.perf_counter() - start, 6),
+                )
+        except Exception:
+            status, payload, extra = 500, {"ok": False, "error": "internal server error"}, {}
+        finally:
+            inflight.release()
+        if isinstance(payload, dict) and "retry_after" in payload:
+            extra["Retry-After"] = str(max(1, math.ceil(payload["retry_after"])))
+        if not future.done():
+            future.set_result(_Response(status, payload, request_id, extra, close_requested))
 
-    async def _read_request(self, reader: asyncio.StreamReader):
+    async def _read_request(self, reader: asyncio.StreamReader, request_line: bytes):
         """Parse request line + headers + body, with hard size caps."""
-        request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
             return 400, {"ok": False, "error": "malformed request line"}
@@ -181,6 +400,8 @@ class ServiceServer:
                 return 431, {"ok": False, "error": "request headers too large"}
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
+        if len(parts) >= 3:
+            headers["_http_version"] = parts[2].upper()
         try:
             length = int(headers.get("content-length", "0"))
         except ValueError:
@@ -193,34 +414,64 @@ class ServiceServer:
         return method, path, headers, body
 
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, Union[dict, str]]:
-        if path == "/healthz":
+        self, method: str, path: str, headers: dict, body: bytes, request_id: str
+    ) -> tuple[int, Union[dict, str], dict]:
+        versioned = path == API_PREFIX or path.startswith(API_PREFIX + "/")
+        base = path[len(API_PREFIX) :] if versioned else path
+        _HTTP_REQUESTS.inc(api="v1" if versioned else "legacy")
+        self.service.stats.http_requests += 1
+        # The legacy (unversioned) surface still answers, but every
+        # response carries a Deprecation marker pointing at /v1.
+        extra: dict = (
+            {}
+            if versioned
+            else {"Deprecation": "true", "Link": f'<{API_PREFIX}>; rel="successor-version"'}
+        )
+        if base == "/healthz":
             if method != "GET":
-                return 405, {"ok": False, "error": "use GET /healthz"}
-            return 200, self.service.healthz()
-        if path == "/stats":
+                return 405, {"ok": False, "error": "use GET /healthz"}, extra
+            return 200, self.service.healthz(), extra
+        if base == "/stats":
             if method != "GET":
-                return 405, {"ok": False, "error": "use GET /stats"}
-            return 200, self.service.stats_snapshot()
-        if path == "/metrics":
+                return 405, {"ok": False, "error": "use GET /stats"}, extra
+            return 200, self.service.stats_snapshot(), extra
+        if base == "/metrics":
             if method != "GET":
-                return 405, {"ok": False, "error": "use GET /metrics"}
-            return 200, self.service.metrics_text()
-        if path == "/explore":
+                return 405, {"ok": False, "error": "use GET /metrics"}, extra
+            return 200, self.service.metrics_text(), extra
+        if base == "/explore":
             if method != "POST":
-                return 405, {"ok": False, "error": "use POST /explore"}
+                return 405, {"ok": False, "error": "use POST /explore"}, extra
             try:
                 payload = json.loads(body.decode() or "null")
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                return 400, {"ok": False, "error": f"invalid JSON body: {exc}"}
-            return await self.service.handle_explore(payload)
-        if path == "/shutdown":
+                return 400, {"ok": False, "error": f"invalid JSON body: {exc}"}, extra
+            client_id = sanitize_request_id(headers.get(CLIENT_ID_HEADER))
+            status, response = await self.service.handle_explore(payload, client_id=client_id)
+            if isinstance(response, dict):
+                response.setdefault("request_id", request_id)
+            return status, response, extra
+        if base.startswith("/queue/") and versioned:
+            # The fleet protocol lives only on the versioned surface —
+            # it post-dates the legacy one, so there is nothing to shim.
             if method != "POST":
-                return 405, {"ok": False, "error": "use POST /shutdown"}
+                return 405, {"ok": False, "error": "queue ops use POST"}, extra
+            op = base[len("/queue/") :]
+            try:
+                payload = json.loads(body.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"ok": False, "error": f"invalid JSON body: {exc}"}, extra
+            status, response = self.queue_api.handle(op, payload)
+            return status, response, extra
+        if base == "/shutdown":
+            if method != "POST":
+                return 405, {"ok": False, "error": "use POST /shutdown"}, extra
+            # Stop admitting new cold work immediately; run_server's stop()
+            # drains what was accepted before tearing the listener down.
+            self.service.begin_drain()
             self._shutdown.set()
-            return 200, {"ok": True, "stopping": True}
-        return 404, {"ok": False, "error": f"no such endpoint {path!r}"}
+            return 200, {"ok": True, "stopping": True}, extra
+        return 404, {"ok": False, "error": f"no such endpoint {path!r}"}, extra
 
 
 def run_server(
@@ -229,15 +480,20 @@ def run_server(
     port: int = 8765,
     *,
     on_ready=None,
+    queue_backend=None,
 ) -> None:
     """Blocking entry point: serve until ``POST /shutdown`` or Ctrl-C.
 
     ``on_ready(host, port)`` (optional) fires once the socket is bound —
     with ``port=0`` that is the only way to learn the chosen port.
+    ``queue_backend`` (optional) overrides the ledger mounted at
+    ``/v1/queue`` (tests inject clock-controlled ones).
     """
 
     async def _main() -> None:
-        server = ServiceServer(ExplorationService(config), host, port)
+        server = ServiceServer(
+            ExplorationService(config), host, port, queue_backend=queue_backend
+        )
         bound_host, bound_port = await server.start()
         print(
             f"promising-arm service listening on http://{bound_host}:{bound_port} "
@@ -259,10 +515,14 @@ def run_server(
 
 
 __all__ = [
-    "PROMETHEUS_CONTENT_TYPE",
+    "API_PREFIX",
+    "CLIENT_ID_HEADER",
+    "KEEPALIVE_IDLE_TIMEOUT",
     "MAX_BODY_BYTES",
     "MAX_HEADER_BYTES",
     "MAX_HEADERS",
+    "MAX_INFLIGHT_PER_CONNECTION",
+    "PROMETHEUS_CONTENT_TYPE",
     "READ_TIMEOUT",
     "ServiceServer",
     "run_server",

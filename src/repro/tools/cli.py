@@ -353,6 +353,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         lru_capacity=args.lru_capacity,
         cache_dir=args.cache_dir,
         default_timeout=args.timeout,
+        max_pending_jobs=args.max_pending_jobs,
+        quota_tokens=args.quota_tokens,
+        quota_refill_per_second=args.quota_refill,
+        queue_url=args.queue_url,
     )
     run_server(config, args.host, args.port)
     return 0
@@ -364,8 +368,8 @@ def _add_distrib_args(parser: argparse.ArgumentParser) -> None:
                              "fleet processes are spawned locally unless "
                              "--external-workers attaches to an existing fleet")
     parser.add_argument("--backend-url", default=None,
-                        help="work backend shared with the fleet "
-                             "(sqlite:///path; default: ephemeral SQLite tmpdir)")
+                        help="work backend shared with the fleet (sqlite:///path or "
+                             "http://host:port; default: ephemeral SQLite tmpdir)")
     parser.add_argument("--external-workers", action="store_true",
                         help="spawn no local workers; an external fleet "
                              "(promising-arm work) serves the queue")
@@ -481,7 +485,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="join a distributed fleet: claim and execute leased litmus jobs",
     )
     work_parser.add_argument("--backend-url", required=True,
-                             help="shared work backend: sqlite:///path/to/queue.db "
+                             help="shared work backend: http://host:port (a promising-arm "
+                                  "serve queue, no shared filesystem needed), "
+                                  "sqlite:///path/to/queue.db "
                                   "(or a bare path)")
     work_parser.add_argument("--cache-dir", default=None,
                              help="shared persistent result cache directory")
@@ -516,6 +522,18 @@ def build_parser() -> argparse.ArgumentParser:
                               help="micro-batch accumulation window in milliseconds")
     serve_parser.add_argument("--timeout", type=float, default=60.0,
                               help="default per-job deadline in seconds")
+    serve_parser.add_argument("--max-pending-jobs", type=int, default=1024,
+                              help="admission control: answer 429 + Retry-After once this "
+                                   "many jobs are queued or in flight (0 = unlimited)")
+    serve_parser.add_argument("--quota-tokens", type=float, default=None,
+                              help="per-client token-bucket capacity for /v1/explore, keyed "
+                                   "on X-Client-Id (one token per job; default: quotas off)")
+    serve_parser.add_argument("--quota-refill", type=float, default=1.0,
+                              help="tokens refilled per second per client")
+    serve_parser.add_argument("--queue-url", default=None,
+                              help="ledger mounted at /v1/queue for HTTP fleets "
+                                   "(sqlite:///path or memory://name; default: fresh "
+                                   "in-memory queue)")
     serve_parser.set_defaults(func=cmd_serve)
     return parser
 

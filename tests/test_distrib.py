@@ -12,6 +12,7 @@ of the same corpus.
 import json
 import multiprocessing
 import os
+import queue as queue_module
 import subprocess
 import sys
 import threading
@@ -22,6 +23,7 @@ import pytest
 
 from repro.distrib import (
     DistribConfig,
+    HttpWorkBackend,
     MemoryBackend,
     SqliteBackend,
     open_backend,
@@ -55,13 +57,37 @@ class FakeClock:
         self.now += seconds
 
 
-@pytest.fixture(params=["memory", "sqlite"])
+@pytest.fixture(params=["memory", "sqlite", "http"])
 def ledger(request, tmp_path):
     clock = FakeClock()
     if request.param == "memory":
         backend = MemoryBackend(clock=clock)
-    else:
+    elif request.param == "sqlite":
         backend = SqliteBackend(tmp_path / "queue.db", clock=clock)
+    else:
+        # The same laws must hold over the wire: a clock-controlled memory
+        # ledger mounted on a live server, driven through HttpWorkBackend.
+        from repro.service import ServiceClient, ServiceConfig
+        from repro.service.http import run_server
+
+        ready: "queue_module.Queue[tuple[str, int]]" = queue_module.Queue()
+        thread = threading.Thread(
+            target=run_server,
+            args=(ServiceConfig(workers=1, batch_max_delay=0.0), "127.0.0.1", 0),
+            kwargs={
+                "on_ready": lambda host, port: ready.put((host, port)),
+                "queue_backend": MemoryBackend(clock=clock),
+            },
+            daemon=True,
+        )
+        thread.start()
+        host, port = ready.get(timeout=30)
+        backend = HttpWorkBackend(f"http://{host}:{port}")
+        yield backend, clock
+        backend.close()
+        ServiceClient(host, port).shutdown()
+        thread.join(timeout=30)
+        return
     yield backend, clock
     backend.close()
 
@@ -268,6 +294,16 @@ class TestOpenBackend:
     def test_backend_objects_pass_through(self):
         backend = MemoryBackend()
         assert open_backend(backend) is backend
+
+    def test_http_urls_dispatch_without_connecting(self):
+        # Nothing listens on this port: the constructor must not connect
+        # (workers open backends before the coordinator's server is known
+        # to be reachable), only the first op does.
+        backend = open_backend("http://127.0.0.1:9")
+        assert isinstance(backend, HttpWorkBackend)
+        backend.close()
+        with pytest.raises(ValueError):
+            HttpWorkBackend("http:///nohost")
 
 
 # ---------------------------------------------------------------------------
@@ -484,6 +520,42 @@ class TestDistributedParity:
             outcome_set_digest(r.outcomes) for r in pooled
         ]
         # The schema-v3 reports agree row-for-row on outcome digests.
+        report_a = build_report(jobs, pooled)
+        report_b = build_report(jobs, run.results)
+        assert [j["outcome_digest"] for j in report_a["jobs"]] == [
+            j["outcome_digest"] for j in report_b["jobs"]
+        ]
+        assert report_a["mismatches"] == report_b["mismatches"] == []
+
+    def test_http_fleet_matches_pooled_with_no_shared_filesystem(self, tmp_path):
+        # The acceptance bar of the API v2 PR: forked workers that talk to
+        # the queue only over HTTP — no shared cache directory, no shared
+        # SQLite file — produce a report digest-identical to the pooled run.
+        from repro.service import ServiceClient, ServiceConfig
+        from repro.service.http import run_server
+
+        jobs = corpus_jobs(n_tests=3, models=("promising", "axiomatic"))
+        pooled = run_jobs(jobs, workers=2, cache=tmp_path / "pool-cache")
+
+        ready: "queue_module.Queue[tuple[str, int]]" = queue_module.Queue()
+        thread = threading.Thread(
+            target=run_server,
+            args=(ServiceConfig(workers=1, batch_max_delay=0.0), "127.0.0.1", 0),
+            kwargs={"on_ready": lambda host, port: ready.put((host, port))},
+            daemon=True,
+        )
+        thread.start()
+        host, port = ready.get(timeout=30)
+        try:
+            run = run_distributed(
+                jobs,
+                config=DistribConfig(backend_url=f"http://{host}:{port}", workers=2),
+            )
+        finally:
+            ServiceClient(host, port).shutdown()
+            thread.join(timeout=30)
+        assert run.info["workers_spawned"] == 2
+        assert run.info["jobs_computed"] == len(jobs)
         report_a = build_report(jobs, pooled)
         report_b = build_report(jobs, run.results)
         assert [j["outcome_digest"] for j in report_a["jobs"]] == [

@@ -22,6 +22,7 @@ from repro.service import (
     ServiceClientError,
     ServiceConfig,
     ServiceError,
+    TokenBuckets,
     percentile,
 )
 from repro.service.http import run_server
@@ -124,6 +125,51 @@ class TestNormalize:
         loose = self.normalize({"test": "SB"})
         tight = self.normalize({"test": "SB", "options": {"max_states": 17}})
         assert loose.jobs[0].fingerprint() != tight.jobs[0].fingerprint()
+
+    def test_deadline_option_bounds(self):
+        for bad in (True, "2", 0, -1.0, 10_000):
+            with pytest.raises(ServiceError):
+                self.normalize({"test": "SB", "options": {"deadline_seconds": bad}})
+        request = self.normalize({"test": "SB", "options": {"deadline_seconds": 2}})
+        assert request.deadline_seconds == 2.0
+
+    def test_deadline_shapes_job_fingerprints(self):
+        # The deadline enters the search config, so deadline-tier answers
+        # never collide with exhaustive ones in any cache layer.
+        full = self.normalize({"test": "SB"})
+        tiered = self.normalize({"test": "SB", "options": {"deadline_seconds": 2}})
+        assert full.jobs[0].fingerprint() != tiered.jobs[0].fingerprint()
+
+
+class TestTokenBuckets:
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TokenBuckets(0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBuckets(5, 0)
+
+    def test_spend_refill_and_retry_after(self):
+        clock = [0.0]
+        buckets = TokenBuckets(2, 4.0, clock=lambda: clock[0])
+        assert buckets.take("alice") is None
+        assert buckets.take("alice") is None
+        # Bucket empty: the wait is exactly the refill time for one token.
+        assert buckets.take("alice") == pytest.approx(0.25)
+        clock[0] += 0.25
+        assert buckets.take("alice") is None
+
+    def test_cost_above_capacity_drains_a_full_bucket(self):
+        # A burst bigger than the bucket is admitted (capacity is a burst
+        # cap, not a hard request-size wall) and empties the bucket.
+        buckets = TokenBuckets(2, 1.0, clock=lambda: 0.0)
+        assert buckets.take("bob", cost=10) is None
+        assert buckets.take("bob") == pytest.approx(1.0)
+
+    def test_clients_have_independent_buckets(self):
+        buckets = TokenBuckets(1, 1.0, clock=lambda: 0.0)
+        assert buckets.take("alice") is None
+        assert buckets.take("alice") is not None
+        assert buckets.take("bob") is None
 
 
 class TestWorkerPool:
@@ -300,6 +346,161 @@ class TestServiceCore:
 
         run_async(scenario())
 
+    def test_deadline_tier_response_is_flagged_and_billed(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                status, response = await service.handle_explore(
+                    {"test": "MP", "options": {"deadline_seconds": 0.000001}}
+                )
+                assert status == 200
+                # The response says which budget shaped it and that the
+                # verdict is partial, per row and at the top level.
+                assert response["deadline_seconds"] == pytest.approx(1e-6)
+                assert response["truncated"] is True
+                row = response["results"][0]
+                assert row["truncated"] is True
+                assert row["warning"]
+                assert row["matches_expectation"] is None
+                assert "sampled" in row
+                # Billed through the same per-request cost block.
+                assert row["cost"]["served_from"] == "computed"
+            finally:
+                await service.stop()
+
+        run_async(scenario())
+
+    def test_exhaustive_responses_carry_no_deadline_fields(self):
+        async def scenario():
+            service = make_service()
+            await service.start()
+            try:
+                status, response = await service.handle_explore({"test": "SB"})
+                assert status == 200
+                assert "deadline_seconds" not in response
+                assert "truncated" not in response
+            finally:
+                await service.stop()
+
+        run_async(scenario())
+
+
+class TestAdmissionControl:
+    def test_queue_depth_gate_is_429_with_retry_after(self):
+        async def scenario():
+            # One job already queued (the huge batch window keeps it there)
+            # fills the whole admission budget; the next request bounces.
+            service = make_service(batch_max_delay=30.0, max_pending_jobs=1)
+            await service.start()
+            pending = asyncio.create_task(service.handle_explore({"test": "SB"}))
+            await asyncio.sleep(0.05)
+            status, response = await service.handle_explore({"test": "MP"})
+            assert status == 429 and not response["ok"]
+            assert response["retry_after"] == pytest.approx(
+                service.config.admission_retry_after
+            )
+            assert service.stats.admission_rejections == 1
+            await service.stop()
+            await asyncio.wait_for(pending, timeout=5.0)
+
+        run_async(scenario())
+
+    def test_quota_exhaustion_is_429_per_client(self):
+        async def scenario():
+            service = make_service(quota_tokens=2.0, quota_refill_per_second=0.5)
+            await service.start()
+            try:
+                for _ in range(2):
+                    status, _ = await service.handle_explore(
+                        {"test": "SB"}, client_id="alice"
+                    )
+                    assert status == 200
+                status, response = await service.handle_explore(
+                    {"test": "SB"}, client_id="alice"
+                )
+                assert status == 429 and not response["ok"]
+                assert "quota" in response["error"]
+                # ~2s to refill one token at 0.5/s, minus whatever trickled
+                # back in while the first two requests ran.
+                assert 0 < response["retry_after"] <= 2.0
+                assert service.stats.quota_rejections == 1
+                # Another identity is unaffected — quotas are per client.
+                status, _ = await service.handle_explore(
+                    {"test": "SB"}, client_id="bob"
+                )
+                assert status == 200
+            finally:
+                await service.stop()
+
+        run_async(scenario())
+
+    def test_quota_cost_is_jobs_not_requests(self):
+        async def scenario():
+            service = make_service(quota_tokens=2.0, quota_refill_per_second=0.1)
+            await service.start()
+            try:
+                # One two-model request spends both tokens at once.
+                status, _ = await service.handle_explore(
+                    {"test": "SB", "models": ["promising", "axiomatic"]},
+                    client_id="alice",
+                )
+                assert status == 200
+                status, _ = await service.handle_explore(
+                    {"test": "SB"}, client_id="alice"
+                )
+                assert status == 429
+            finally:
+                await service.stop()
+
+        run_async(scenario())
+
+
+class TestGracefulDrain:
+    def test_drain_serves_cache_and_inflight_but_rejects_cold_work(self):
+        async def scenario():
+            service = make_service(batch_max_delay=0.05)
+            await service.start()
+            _, warm = await service.handle_explore({"test": "SB"})
+            assert warm["ok"]
+            # In-flight work admitted before the drain began must finish.
+            inflight = asyncio.create_task(service.handle_explore({"test": "MP"}))
+            await asyncio.sleep(0.01)
+            service.begin_drain()
+            # New cold work is turned away with an explicit come-back-later.
+            status, rejected = await service.handle_explore({"test": "LB"})
+            assert status == 503 and not rejected["ok"]
+            assert rejected["retry_after"] == pytest.approx(
+                service.config.drain_retry_after
+            )
+            assert service.stats.drain_rejections == 1
+            # Cache hits still answer during the drain.
+            status, cached = await service.handle_explore({"test": "SB"})
+            assert status == 200
+            assert cached["results"][0]["served_from"] == "lru"
+            status, finished = await asyncio.wait_for(inflight, timeout=10.0)
+            assert status == 200 and finished["ok"]
+            assert await service.drain(timeout=10.0)
+            assert service.healthz()["status"] == "draining"
+            await service.stop()
+
+        run_async(scenario())
+
+    def test_drain_times_out_rather_than_hanging(self):
+        async def scenario():
+            # Nothing will ever flush a 30s batch window; drain must give
+            # up at its own deadline, not wait the window out.
+            service = make_service(batch_max_delay=30.0)
+            await service.start()
+            pending = asyncio.create_task(service.handle_explore({"test": "SB"}))
+            await asyncio.sleep(0.05)
+            service.begin_drain()
+            assert not await service.drain(timeout=0.2)
+            await service.stop()
+            await asyncio.wait_for(pending, timeout=5.0)
+
+        run_async(scenario())
+
 
 @pytest.fixture(scope="module")
 def live_service():
@@ -376,3 +577,176 @@ class TestHttpRoundTrip:
             sock.sendall(b"GET /healthz HTTP/1.1\r\n" + flood + b"\r\n")
             reply = sock.recv(4096).decode()
         assert reply.startswith("HTTP/1.1 431")
+
+
+class _RawHttp:
+    """Minimal HTTP response reader over a raw socket.
+
+    Keeps bytes beyond the current response buffered, so back-to-back
+    pipelined responses are split correctly instead of discarded.
+    """
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.buffer = b""
+
+    def read_response(self) -> tuple[int, dict, bytes]:
+        while b"\r\n\r\n" not in self.buffer:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("server closed mid-response")
+            self.buffer += chunk
+        head, _, rest = self.buffer.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers = {}
+        for line in lines[1:]:
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        while len(rest) < length:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("server closed mid-body")
+            rest += chunk
+        self.buffer = rest[length:]
+        return status, headers, rest[:length]
+
+
+class TestKeepAliveProtocol:
+    def test_sequential_requests_reuse_one_connection(self, live_service):
+        import socket
+
+        request = (
+            b"GET /v1/healthz HTTP/1.1\r\nHost: svc\r\n\r\n"
+        )
+        with socket.create_connection((live_service.host, live_service.port)) as sock:
+            http = _RawHttp(sock)
+            for _ in range(3):
+                sock.sendall(request)
+                status, headers, _body = http.read_response()
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+
+    def test_pipelined_responses_come_back_in_request_order(self, live_service):
+        import json
+        import socket
+
+        def explore(test, request_id):
+            body = json.dumps({"test": test}).encode()
+            return (
+                b"POST /v1/explore HTTP/1.1\r\nHost: svc\r\n"
+                b"X-Request-Id: " + request_id.encode() + b"\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+            )
+
+        # All three hit the wire before any response is read; HTTP/1.1
+        # demands answers in request order even when they finish out of it.
+        wire = explore("SB", "pipe-0") + explore("MP", "pipe-1") + explore("LB", "pipe-2")
+        with socket.create_connection((live_service.host, live_service.port)) as sock:
+            http = _RawHttp(sock)
+            sock.sendall(wire)
+            for index, expected_test in enumerate(["SB", "MP", "LB"]):
+                status, headers, body = http.read_response()
+                assert status == 200
+                assert headers["x-request-id"] == f"pipe-{index}"
+                assert json.loads(body)["test"] == expected_test
+
+    def test_connection_close_is_honoured(self, live_service):
+        import socket
+
+        with socket.create_connection((live_service.host, live_service.port)) as sock:
+            sock.sendall(b"GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            status, headers, _body = _RawHttp(sock).read_response()
+            assert status == 200
+            assert headers["connection"] == "close"
+            assert sock.recv(4096) == b""  # server actually closed
+
+    def test_client_pool_reuses_connections(self, live_service):
+        before = live_service.stats()["http"]
+        for _ in range(4):
+            live_service.explore(test="SB")
+        after = live_service.stats()["http"]
+        # Six requests (4 explores + 2 stats) rode existing connections.
+        assert after["requests"] - before["requests"] == 5
+        assert after["connections"] == before["connections"]
+
+
+class TestVersioningShim:
+    def test_legacy_paths_answer_with_deprecation_header(self, live_service):
+        legacy = ServiceClient(live_service.host, live_service.port, api_prefix="")
+        try:
+            status, headers, _body = legacy._raw_request("GET", "/healthz")
+            assert status == 200
+            assert headers["deprecation"] == "true"
+            assert 'rel="successor-version"' in headers["link"]
+            # The deprecated surface still fully works.
+            response = legacy.explore(test="SB")
+            assert response["ok"]
+        finally:
+            legacy.close()
+
+    def test_versioned_paths_carry_no_deprecation_header(self, live_service):
+        status, headers, _body = live_service._raw_request("GET", "/v1/healthz")
+        assert status == 200
+        assert "deprecation" not in headers
+
+    def test_deadline_tier_over_http(self, live_service):
+        response = live_service.explore(
+            test="LB", options={"deadline_seconds": 0.000001}
+        )
+        assert response["truncated"] is True
+        assert response["deadline_seconds"] == pytest.approx(1e-6)
+        row = response["results"][0]
+        assert row["truncated"] is True and "sampled" in row
+
+
+@pytest.fixture()
+def quota_service():
+    """A server with a tiny per-client quota (the 429 path, end to end)."""
+    ready: "queue.Queue[tuple[str, int]]" = queue.Queue()
+    config = ServiceConfig(
+        workers=1,
+        batch_max_delay=0.0,
+        quota_tokens=2.0,
+        quota_refill_per_second=2.0,
+    )
+    thread = threading.Thread(
+        target=run_server,
+        args=(config, "127.0.0.1", 0),
+        kwargs={"on_ready": lambda host, port: ready.put((host, port))},
+        daemon=True,
+    )
+    thread.start()
+    host, port = ready.get(timeout=30)
+    yield host, port
+    ServiceClient(host, port).shutdown()
+    thread.join(timeout=30)
+
+
+class TestQuotaOverHttp:
+    def test_exhaustion_is_429_with_retry_after(self, quota_service):
+        host, port = quota_service
+        with ServiceClient(host, port, client_id="greedy") as client:
+            client.wait_until_ready(30)
+            client.explore(test="SB", options={"include_outcomes": False})
+            client.explore(test="SB", options={"include_outcomes": False})
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.explore(
+                    test="SB", options={"include_outcomes": False}, retry=False
+                )
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after >= 1  # header is ceil'd to whole seconds
+
+    def test_client_retries_past_429_honouring_retry_after(self, quota_service):
+        host, port = quota_service
+        with ServiceClient(host, port, client_id="patient") as client:
+            client.wait_until_ready(30)
+            for _ in range(3):  # third call drains the bucket and must retry
+                response = client.explore(
+                    test="SB", options={"include_outcomes": False}
+                )
+                assert response["ok"]
+            assert client.retries >= 1
