@@ -39,12 +39,15 @@ by default), then compares the fresh results job-by-job:
   ``bench.sh``).
 
 * **Backend artifact** — the committed ``BENCH_backend.json`` must parse
-  against the backend-sweep schema and record the PR 7 claims: a
+  against the backend-sweep schema and record the PR 7/PR 10 claims: a
   packed-vs-object aggregate speedup of at least
-  ``--min-backend-speedup`` (default 10) over the gated rows, and
-  bit-identical outcome digests between the two backends on *every* row
-  (gated and context alike — the backend may never change semantics).
-  Regeneration is ``scripts/bench_backend.py``'s job (via ``bench.sh``).
+  ``--min-backend-speedup`` (default 10) over the gated naive rows,
+  *every* gated row (naive, promise-first and Flat alike) at or above
+  its own recorded ``min_speedup`` floor — so a single-family regression
+  cannot hide under the aggregate — and bit-identical outcome digests
+  between the two backends on every row (gated and context alike — the
+  backend may never change semantics).  Regeneration is
+  ``scripts/bench_backend.py``'s job (via ``bench.sh``).
 
 * **Distributed artifact** — the committed ``BENCH_distrib.json`` must
   parse against the distrib-scaling schema and record the PR 8 claims:
@@ -464,13 +467,16 @@ BACKEND_SCHEMA = {
     "min_speedup": None,
     "families": None,
     "aggregate": ("object_seconds", "packed_seconds", "speedup"),
-    "claims": ("digests_identical", "speedup_at_least_min"),
+    "claims": ("digests_identical", "speedup_at_least_min", "per_row_floors_met"),
 }
 
 BACKEND_ROW_KEYS = (
     "name",
     "model",
     "gated",
+    "min_speedup",
+    "memo_hits",
+    "memo_misses",
     "object_seconds",
     "packed_seconds",
     "speedup",
@@ -524,15 +530,23 @@ def validate_backend_report(path: Path, min_speedup: float) -> list[str]:
             gated += 1
             if not isinstance(row["speedup"], (int, float)) or row["speedup"] <= 0:
                 failures.append(f"{label}: speedup must be a positive number")
+                continue
+            floor = row["min_speedup"]
+            if not isinstance(floor, (int, float)) or floor <= 0:
+                failures.append(f"{label}: gated row needs a positive min_speedup floor")
+            elif row["speedup"] < floor:
+                failures.append(
+                    f"{label}: speedup {row['speedup']}x below its {floor}x "
+                    "per-row floor"
+                )
     if gated == 0:
         failures.append("backend baseline has no gated rows to aggregate")
     speedup = report["aggregate"]["speedup"]
     if not isinstance(speedup, (int, float)) or speedup < min_speedup:
         failures.append(f"backend aggregate speedup {speedup!r} below the {min_speedup:.0f}x bar")
-    if report["claims"]["digests_identical"] is not True:
-        failures.append("backend baseline claim digests_identical must be true")
-    if report["claims"]["speedup_at_least_min"] is not True:
-        failures.append("backend baseline claim speedup_at_least_min must be true")
+    for claim in ("digests_identical", "speedup_at_least_min", "per_row_floors_met"):
+        if report["claims"][claim] is not True:
+            failures.append(f"backend baseline claim {claim} must be true")
     return failures
 
 

@@ -23,16 +23,20 @@ def make_promising_backend(name, program, config, stats):
     return cls(program, config, stats)
 
 
-def make_flat_backend(name, program, config, stats, successors_fn):
+def make_flat_backend(name, program, config, stats, successors_fn, thread_transitions_fn):
     """Backend for the Flat-style explorer.
 
-    ``successors_fn`` is the explorer's labelled transition relation,
-    injected so the backend package never imports the explorer it
-    serves.
+    ``successors_fn`` is the explorer's whole-state labelled transition
+    relation and ``thread_transitions_fn`` its per-thread factorisation
+    (signature ``(thread, state, config) -> iterable of (label, thread,
+    write)``); both are injected so the backend package never imports
+    the explorer it serves.  The object backend drives the former, the
+    packed backend memoises the latter.
     """
     validate_backend(name)
-    cls = ObjectFlatBackend if name == "object" else PackedFlatBackend
-    return cls(program, config, stats, successors_fn)
+    if name == "object":
+        return ObjectFlatBackend(program, config, stats, successors_fn)
+    return PackedFlatBackend(program, config, stats, successors_fn, thread_transitions_fn)
 
 
 __all__ = [

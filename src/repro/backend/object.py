@@ -20,6 +20,7 @@ from ..lang.ast import Stmt
 from ..lang.kinds import Arch
 from ..lang.program import Program, TId
 from ..obs.tracing import PhaseAccumulator
+from ..outcomes import Outcome
 from ..promising.certification import (
     CertificationCache,
     can_complete_without_promising,
@@ -193,6 +194,29 @@ class ObjectPromisingBackend:
         self.phases.add("enumerate", time.perf_counter() - phase_start)
         return thread_results if feasible else None
 
+    def accumulate_outcomes(self, outcomes, state: MachineState) -> None:
+        """Cross per-thread completion sets into the outcome set.
+
+        The reference cross product: decoded register dicts folded
+        through :meth:`Outcome.make`, exactly the drive logic the
+        explorer ran before outcome accumulation moved behind the seam.
+        """
+        thread_results = self.completion_sets(state)
+        if thread_results is None:
+            return
+        final_memory = state.memory.final_values()
+
+        def recurse(tid: int, acc: list[dict]) -> None:
+            if tid == len(thread_results):
+                outcomes.add(Outcome.make(list(acc), final_memory))
+                return
+            for regs in thread_results[tid]:
+                acc.append(dict(regs))
+                recurse(tid + 1, acc)
+                acc.pop()
+
+        recurse(0, [])
+
     def promise_successors(self, state: MachineState, per_thread) -> list[MachineState]:
         successors: list[MachineState] = []
         for tid, cert in enumerate(per_thread):
@@ -254,6 +278,7 @@ class ObjectFlatBackend:
         self.config = config
         self.stats = stats
         self._successors = successors_fn
+        self.phases = PhaseAccumulator()
 
     def initial(self):
         from ..flat.machine import initial_state
@@ -267,14 +292,19 @@ class ObjectFlatBackend:
         return packed
 
     def key(self, state):
-        return state.cache_key()
+        t0 = time.perf_counter()
+        key = state.cache_key()
+        self.phases.add("intern", time.perf_counter() - t0)
+        return key
 
     def successors(self, state) -> list:
+        phase_start = time.perf_counter()
         result = []
         for label, succ in self._successors(state, self.config):
             if label == "restart":
                 self.stats.restarts += 1
             result.append(succ)
+        self.phases.add("enumerate", time.perf_counter() - phase_start)
         return result
 
     def is_final(self, state) -> bool:
@@ -284,7 +314,7 @@ class ObjectFlatBackend:
         return state.outcome()
 
     def finalise(self, stats, model: str) -> None:
-        pass
+        self.phases.flush(EXPLORE_PHASE_SECONDS, model=model)
 
 
 __all__ = [

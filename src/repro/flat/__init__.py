@@ -1,7 +1,14 @@
 """Flat-style abstract-microarchitectural baseline model."""
 
 from .machine import FlatState, FlatThread, WindowEntry, initial_state
-from .explorer import FlatConfig, FlatResult, FlatStats, explore_flat, successors
+from .explorer import (
+    FlatConfig,
+    FlatResult,
+    FlatStats,
+    explore_flat,
+    successors,
+    thread_transitions,
+)
 
 __all__ = [
     "FlatState",
@@ -13,4 +20,5 @@ __all__ = [
     "FlatStats",
     "explore_flat",
     "successors",
+    "thread_transitions",
 ]

@@ -28,7 +28,7 @@ from typing import Iterator, Optional
 from ..explore import BaseSearchConfig, SearchKernel, SearchStats, strategy_for
 from ..lang.ast import Assign, Fence, If, Isb, Load, Seq, Skip, Stmt, Store
 from ..lang.kinds import FenceSet, VFAIL, VSUCC
-from ..lang.program import Program, TId
+from ..lang.program import Program
 from ..lang.transform import unroll_program
 from ..lang import has_loops
 from ..outcomes import OutcomeSet
@@ -66,6 +66,11 @@ class FlatStats(SearchStats):
     states: int = 0
     transitions: int = 0
     restarts: int = 0
+    #: Backend-representation diagnostics (left 0 by the object backend).
+    interned_keys: int = 0
+    intern_hits: int = 0
+    step_memo_hits: int = 0
+    step_memo_misses: int = 0
 
     def describe(self) -> str:
         return (
@@ -218,150 +223,163 @@ def _retire(thread: FlatThread) -> FlatThread:
     return replace(thread, regs=tuple(sorted(regs.items())), window=tuple(window))
 
 
-def _with_thread(state: FlatState, tid: TId, thread: FlatThread) -> FlatState:
-    threads = list(state.threads)
-    threads[tid] = _retire(thread)
-    return replace(state, threads=tuple(threads))
-
-
 def _update_entry(thread: FlatThread, index: int, entry: WindowEntry) -> FlatThread:
     window = list(thread.window)
     window[index] = entry
     return replace(thread, window=tuple(window))
 
 
+def thread_transitions(
+    thread: FlatThread, state: FlatState, config: FlatConfig
+) -> Iterator[tuple[str, FlatThread, Optional[tuple]]]:
+    """Enabled transitions of one thread: ``(label, thread', write)``.
+
+    Threads interact only through the flat storage, so the relation
+    depends on ``state`` solely via ``storage_value``/``storage_version``
+    — the packed backend exploits this by memoising per ``(thread,
+    storage)`` pair.  The yielded thread has already retired its
+    completed window prefix; ``write`` is the ``(address, value)``
+    propagated to storage, or ``None``.
+    """
+    # ---- fetch -----------------------------------------------------------
+    head, rest = _split_head(thread.continuation)
+    if head is not None and len(thread.window) < config.window_size:
+        if isinstance(head, If):
+            for taken in (True, False):
+                branch_stmt = head.then if taken else head.orelse
+                other_stmt = head.orelse if taken else head.then
+                entry = WindowEntry(
+                    "branch",
+                    head,
+                    alt_continuation=normalise(Seq(other_stmt, rest)),
+                    speculated_taken=taken,
+                )
+                new_thread = replace(
+                    thread,
+                    window=thread.window + (entry,),
+                    continuation=normalise(Seq(branch_stmt, rest)),
+                )
+                yield "fetch-branch", _retire(new_thread), None
+        else:
+            entry = WindowEntry(_entry_kind(head), head)
+            new_thread = replace(thread, window=thread.window + (entry,), continuation=rest)
+            yield "fetch", _retire(new_thread), None
+
+    # ---- execute / resolve -----------------------------------------------
+    for index, entry in enumerate(thread.window):
+        if entry.done:
+            continue
+        stmt = entry.stmt
+        regs = window_regs(thread, index)
+
+        if entry.kind == "assign" and isinstance(stmt, Assign):
+            value = try_eval(stmt.expr, regs)
+            if value is None:
+                continue
+            new_thread = _update_entry(thread, index, replace(entry, done=True, value=value))
+            yield "execute-assign", _retire(new_thread), None
+
+        elif entry.kind == "load" and isinstance(stmt, Load):
+            addr = try_eval(stmt.addr, regs)
+            if addr is None or _earlier_blocks_load(thread, index, addr):
+                continue
+            forwarded = _forwarded_value(thread, index, addr)
+            value = forwarded if forwarded is not None else state.storage_value(addr)
+            new_thread = _update_entry(thread, index, replace(entry, done=True, value=value))
+            if stmt.exclusive:
+                new_thread = replace(
+                    new_thread, reservation=(addr, state.storage_version(addr))
+                )
+            yield "execute-load", _retire(new_thread), None
+
+        elif entry.kind == "store" and isinstance(stmt, Store):
+            addr = try_eval(stmt.addr, regs)
+            data = try_eval(stmt.data, regs)
+            if stmt.exclusive:
+                # Failure is always possible once the entry is fetched.
+                failed = _update_entry(thread, index, replace(entry, done=True, success=False))
+                failed = replace(failed, reservation=None)
+                yield "sc-fail", _retire(failed), None
+            if addr is None or data is None:
+                continue
+            release = stmt.kind.is_release
+            if _earlier_blocks_store(thread, index, addr, release):
+                continue
+            if stmt.exclusive:
+                reservation = thread.reservation
+                if (
+                    reservation is None
+                    or reservation[0] != addr
+                    or state.storage_version(addr) != reservation[1]
+                ):
+                    continue
+                new_thread = _update_entry(
+                    thread, index, replace(entry, done=True, success=True)
+                )
+                new_thread = replace(new_thread, reservation=None)
+                yield "sc-success", _retire(new_thread), (addr, data)
+            else:
+                new_thread = _update_entry(
+                    thread, index, replace(entry, done=True, success=True)
+                )
+                yield "execute-store", _retire(new_thread), (addr, data)
+
+        elif entry.kind == "fence" and isinstance(stmt, Fence):
+            if _fence_ready(thread, index, stmt):
+                new_thread = _update_entry(thread, index, replace(entry, done=True))
+                yield "execute-fence", _retire(new_thread), None
+
+        elif entry.kind == "isb":
+            if not unresolved_branch_before(thread, index):
+                new_thread = _update_entry(thread, index, replace(entry, done=True))
+                yield "execute-isb", _retire(new_thread), None
+
+        elif entry.kind == "branch" and isinstance(stmt, If):
+            value = try_eval(stmt.cond, regs)
+            if value is None:
+                continue
+            taken = value != 0
+            if taken == entry.speculated_taken:
+                new_thread = _update_entry(
+                    thread, index, replace(entry, done=True, value=value)
+                )
+                yield "resolve-branch", _retire(new_thread), None
+            else:
+                # Restart: squash the mis-speculated suffix.
+                resolved = replace(entry, done=True, value=value, alt_continuation=None)
+                new_thread = replace(
+                    thread,
+                    window=thread.window[:index] + (resolved,),
+                    continuation=entry.alt_continuation or Skip(),
+                )
+                # A squashed load-exclusive must take its monitor with
+                # it: the reservation it established would otherwise
+                # let a refetched store-exclusive pair with a load
+                # that architecturally never happened — an SC that
+                # *spuriously succeeds* (e.g. a CAS acting
+                # non-atomically across another thread's write).
+                # Clearing is always sound: SC may always fail.
+                if any(
+                    squashed.kind == "load"
+                    and squashed.done
+                    and isinstance(squashed.stmt, Load)
+                    and squashed.stmt.exclusive
+                    for squashed in thread.window[index + 1 :]
+                ):
+                    new_thread = replace(new_thread, reservation=None)
+                yield "restart", _retire(new_thread), None
+
+
 def successors(state: FlatState, config: FlatConfig) -> Iterator[tuple[str, FlatState]]:
     """All transitions enabled in ``state`` (with a restart counter tag)."""
     for tid, thread in enumerate(state.threads):
-        # ---- fetch -------------------------------------------------------
-        head, rest = _split_head(thread.continuation)
-        if head is not None and len(thread.window) < config.window_size:
-            if isinstance(head, If):
-                for taken in (True, False):
-                    branch_stmt = head.then if taken else head.orelse
-                    other_stmt = head.orelse if taken else head.then
-                    entry = WindowEntry(
-                        "branch",
-                        head,
-                        alt_continuation=normalise(Seq(other_stmt, rest)),
-                        speculated_taken=taken,
-                    )
-                    new_thread = replace(
-                        thread,
-                        window=thread.window + (entry,),
-                        continuation=normalise(Seq(branch_stmt, rest)),
-                    )
-                    yield "fetch-branch", _with_thread(state, tid, new_thread)
-            else:
-                entry = WindowEntry(_entry_kind(head), head)
-                new_thread = replace(thread, window=thread.window + (entry,), continuation=rest)
-                yield "fetch", _with_thread(state, tid, new_thread)
-
-        # ---- execute / resolve -------------------------------------------
-        for index, entry in enumerate(thread.window):
-            if entry.done:
-                continue
-            stmt = entry.stmt
-            regs = window_regs(thread, index)
-
-            if entry.kind == "assign" and isinstance(stmt, Assign):
-                value = try_eval(stmt.expr, regs)
-                if value is None:
-                    continue
-                new_thread = _update_entry(thread, index, replace(entry, done=True, value=value))
-                yield "execute-assign", _with_thread(state, tid, new_thread)
-
-            elif entry.kind == "load" and isinstance(stmt, Load):
-                addr = try_eval(stmt.addr, regs)
-                if addr is None or _earlier_blocks_load(thread, index, addr):
-                    continue
-                forwarded = _forwarded_value(thread, index, addr)
-                value = forwarded if forwarded is not None else state.storage_value(addr)
-                new_thread = _update_entry(thread, index, replace(entry, done=True, value=value))
-                if stmt.exclusive:
-                    new_thread = replace(
-                        new_thread, reservation=(addr, state.storage_version(addr))
-                    )
-                yield "execute-load", _with_thread(state, tid, new_thread)
-
-            elif entry.kind == "store" and isinstance(stmt, Store):
-                addr = try_eval(stmt.addr, regs)
-                data = try_eval(stmt.data, regs)
-                if stmt.exclusive:
-                    # Failure is always possible once the entry is fetched.
-                    failed = _update_entry(thread, index, replace(entry, done=True, success=False))
-                    failed = replace(failed, reservation=None)
-                    yield "sc-fail", _with_thread(state, tid, failed)
-                if addr is None or data is None:
-                    continue
-                release = stmt.kind.is_release
-                if _earlier_blocks_store(thread, index, addr, release):
-                    continue
-                if stmt.exclusive:
-                    reservation = thread.reservation
-                    if (
-                        reservation is None
-                        or reservation[0] != addr
-                        or state.storage_version(addr) != reservation[1]
-                    ):
-                        continue
-                    new_thread = _update_entry(
-                        thread, index, replace(entry, done=True, success=True)
-                    )
-                    new_thread = replace(new_thread, reservation=None)
-                    new_state = _with_thread(state, tid, new_thread).with_write(addr, data)
-                    yield "sc-success", new_state
-                else:
-                    new_thread = _update_entry(
-                        thread, index, replace(entry, done=True, success=True)
-                    )
-                    new_state = _with_thread(state, tid, new_thread).with_write(addr, data)
-                    yield "execute-store", new_state
-
-            elif entry.kind == "fence" and isinstance(stmt, Fence):
-                if _fence_ready(thread, index, stmt):
-                    new_thread = _update_entry(thread, index, replace(entry, done=True))
-                    yield "execute-fence", _with_thread(state, tid, new_thread)
-
-            elif entry.kind == "isb":
-                if not unresolved_branch_before(thread, index):
-                    new_thread = _update_entry(thread, index, replace(entry, done=True))
-                    yield "execute-isb", _with_thread(state, tid, new_thread)
-
-            elif entry.kind == "branch" and isinstance(stmt, If):
-                value = try_eval(stmt.cond, regs)
-                if value is None:
-                    continue
-                taken = value != 0
-                if taken == entry.speculated_taken:
-                    new_thread = _update_entry(
-                        thread, index, replace(entry, done=True, value=value)
-                    )
-                    yield "resolve-branch", _with_thread(state, tid, new_thread)
-                else:
-                    # Restart: squash the mis-speculated suffix.
-                    resolved = replace(entry, done=True, value=value, alt_continuation=None)
-                    new_thread = replace(
-                        thread,
-                        window=thread.window[:index] + (resolved,),
-                        continuation=entry.alt_continuation or Skip(),
-                    )
-                    # A squashed load-exclusive must take its monitor with
-                    # it: the reservation it established would otherwise
-                    # let a refetched store-exclusive pair with a load
-                    # that architecturally never happened — an SC that
-                    # *spuriously succeeds* (e.g. a CAS acting
-                    # non-atomically across another thread's write).
-                    # Clearing is always sound: SC may always fail.
-                    if any(
-                        squashed.kind == "load"
-                        and squashed.done
-                        and isinstance(squashed.stmt, Load)
-                        and squashed.stmt.exclusive
-                        for squashed in thread.window[index + 1 :]
-                    ):
-                        new_thread = replace(new_thread, reservation=None)
-                    yield "restart", _with_thread(state, tid, new_thread)
+        for label, new_thread, write in thread_transitions(thread, state, config):
+            threads = list(state.threads)
+            threads[tid] = new_thread
+            new_state = replace(state, threads=tuple(threads))
+            if write is not None:
+                new_state = new_state.with_write(*write)
+            yield label, new_state
 
 
 def explore_flat(program: Program, config: Optional[FlatConfig] = None) -> FlatResult:
@@ -383,7 +401,9 @@ def explore_flat(program: Program, config: Optional[FlatConfig] = None) -> FlatR
     # relation is injected, keeping the backend package explorer-free.
     from ..backend import make_flat_backend
 
-    backend = make_flat_backend(config.backend, prepared, config, stats, successors)
+    backend = make_flat_backend(
+        config.backend, prepared, config, stats, successors, thread_transitions
+    )
     outcomes = OutcomeSet()
 
     def expand(packed) -> list:
@@ -404,8 +424,16 @@ def explore_flat(program: Program, config: Optional[FlatConfig] = None) -> FlatR
     stats.states += kernel.stats.states
     stats.transitions += kernel.stats.transitions
     kernel.finish(stats)
+    backend.finalise(stats, model="flat")
     stats.elapsed_seconds = time.perf_counter() - start
     return FlatResult(outcomes, stats, program)
 
 
-__all__ = ["FlatConfig", "FlatStats", "FlatResult", "successors", "explore_flat"]
+__all__ = [
+    "FlatConfig",
+    "FlatStats",
+    "FlatResult",
+    "successors",
+    "thread_transitions",
+    "explore_flat",
+]

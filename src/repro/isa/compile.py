@@ -38,8 +38,23 @@ from ..lang.ast import (
     Store,
 )
 from ..lang.expr import Reg, expr_registers
-from ..lang.program import Program
-from ..promising.steps import is_terminated, normalise, split_head
+from ..lang.kinds import Arch
+from ..lang.program import Program, TId
+from ..promising.state import Memory, TState
+from ..promising.steps import (
+    ThreadStep,
+    assign_step,
+    branch_step,
+    exclusive_fail_step,
+    fence_step,
+    fulfil_steps,
+    is_terminated,
+    isb_step,
+    normalise,
+    read_steps,
+    split_head,
+    write_steps,
+)
 
 
 def _head_kind(head: Stmt) -> str:
@@ -99,8 +114,10 @@ class CompiledStmt:
     """Static per-statement record of the compiled program.
 
     ``succ_ids`` are the statically known continuation statement ids (a
-    branch lists both arms; a terminated statement lists none).  ``reads``
-    and ``writes`` are the head's register dependencies.
+    branch lists both arms in (then, else) order; a terminated statement
+    lists none).  ``reads`` and ``writes`` are the head's register
+    dependencies.  ``head`` is the decomposed head statement, stored so
+    candidate enumeration never re-walks the ``Seq`` spine at run time.
     """
 
     sid: int
@@ -110,6 +127,7 @@ class CompiledStmt:
     reads: tuple[Reg, ...]
     writes: tuple[Reg, ...]
     succ_ids: tuple[int, ...]
+    head: Optional[Stmt] = None
 
 
 class CompiledProgram:
@@ -159,6 +177,7 @@ class CompiledProgram:
                 reads=record.reads,
                 writes=record.writes,
                 succ_ids=tuple(succ_ids),
+                head=record.head,
             )
         return root_id
 
@@ -179,6 +198,7 @@ class CompiledProgram:
                 reads=reads,
                 writes=writes,
                 succ_ids=(),
+                head=head,
             )
         )
         return sid
@@ -198,6 +218,69 @@ class CompiledProgram:
 
     def record(self, sid: int) -> CompiledStmt:
         return self.stmts[sid]
+
+    def candidate_steps(
+        self,
+        sid: int,
+        ts: TState,
+        memory: Memory,
+        arch: Arch,
+        tid: TId,
+        include_writes: bool = True,
+    ) -> list[tuple[int, ThreadStep]]:
+        """Candidate steps of statement ``sid``, with successor ids.
+
+        Returns ``(successor statement id, step)`` pairs in exactly the
+        order of :func:`~repro.promising.machine.thread_candidate_steps`
+        (thread-local steps, then normal writes); with
+        ``include_writes=False`` it is the
+        :func:`~repro.promising.steps.non_promise_steps` relation
+        instead.  Dynamic behaviour comes from the same reference rule
+        bodies in :mod:`repro.promising.steps`; what the table removes is
+        the per-visit head decomposition, continuation normalisation and
+        statement hashing — the head, continuation, and successor ids are
+        all static per-statement facts.
+        """
+        record = self.stmts[sid]
+        kind = record.kind
+        out: list[tuple[int, ThreadStep]] = []
+        if kind == "skip":
+            return out
+        if kind == "branch":
+            then_id, else_id = record.succ_ids
+            step = branch_step(
+                record.head,
+                self.stmts[then_id].stmt,
+                self.stmts[else_id].stmt,
+                ts,
+                memory,
+                tid,
+            )
+            out.append((then_id if step.value != 0 else else_id, step))
+            return out
+        cont_id = record.succ_ids[0]
+        cont = self.stmts[cont_id].stmt
+        head = record.head
+        if kind == "load":
+            for step in read_steps(head, cont, ts, memory, arch, tid):
+                out.append((cont_id, step))
+        elif kind == "store":
+            for step in fulfil_steps(head, cont, ts, memory, arch, tid):
+                out.append((cont_id, step))
+            if head.exclusive:
+                out.append((cont_id, exclusive_fail_step(head, cont, ts, memory, tid)))
+            if include_writes:
+                for step in write_steps(head, cont, ts, memory, arch, tid):
+                    out.append((cont_id, step))
+        elif kind == "fence":
+            out.append((cont_id, fence_step(head, cont, ts, memory, tid)))
+        elif kind == "isb":
+            out.append((cont_id, isb_step(cont, ts, memory, tid)))
+        elif kind == "assign":
+            out.append((cont_id, assign_step(head, cont, ts, memory, tid)))
+        else:  # pragma: no cover - closed by _head_kind
+            raise TypeError(f"cannot step compiled head kind {kind!r}")
+        return out
 
     def statement(self, sid: int) -> Stmt:
         return self.stmts[sid].stmt

@@ -71,20 +71,15 @@ def _state_key(stmt: Stmt, ts: TState, memory: Memory) -> tuple:
     return (stmt, ts.cache_key(), memory.cache_key())
 
 
-class _SequentialGraph:
-    """Bounded exploration of one thread's sequential executions.
+class _SequentialGraphBase:
+    """Shared node/edge store and reachability passes of the two builds.
 
     Nodes are thread configurations reachable by sequential steps; edges
     remember the write performed (if any) so promise candidates can be
-    harvested afterwards.
-
-    Node identities are hash-consed to dense integer ids: the full
-    configuration key — ``(statement, thread-state snapshot, memory)`` —
-    is a deep tuple whose hash walks every register, view, and message on
-    every set/dict operation, and the reachability passes are pure
-    set/dict churn.  Interning pays that hash once per discovered edge
-    and runs everything downstream on ints, which is where most of the
-    certification profile used to go.
+    harvested afterwards.  Node identities are hash-consed to dense
+    integer ids and the reachability passes run on ints only; what
+    differs between the subclasses is the node *key* (and therefore what
+    gets hashed per discovered edge).
     """
 
     def __init__(self, arch: Arch, tid: TId, fuel: int) -> None:
@@ -103,6 +98,47 @@ class _SequentialGraph:
     @property
     def n_nodes(self) -> int:
         return len(self._ids)
+
+    def _backward_reachable(self, targets: set[int], writes_too: bool) -> set[int]:
+        """Nodes from which some target is reachable (optionally over all
+        edges; otherwise only non-write edges)."""
+        predecessors: list[list[int]] = [[] for _ in range(len(self._ids))]
+        for src, succs in enumerate(self.edges):
+            for dst, step in succs or ():
+                if writes_too or step is None:
+                    predecessors[dst].append(src)
+        good = set(targets)
+        worklist = list(targets)
+        while worklist:
+            node = worklist.pop()
+            for pred in predecessors[node]:
+                if pred not in good:
+                    good.add(pred)
+                    worklist.append(pred)
+        return good
+
+    def can_reach_fulfilled(self) -> set[int]:
+        """Ids of nodes from which a promise-free state is reachable."""
+        return self._backward_reachable(self.fulfilled, writes_too=True)
+
+    def can_reach_finished_locally(self) -> set[int]:
+        """Ids of nodes that reach a finished node via non-write edges.
+
+        Write edges append to memory, so a path avoiding them is exactly
+        a :func:`~repro.promising.steps.non_promise_steps` execution —
+        the relation :func:`can_complete_without_promising` searches.
+        """
+        return self._backward_reachable(self.finished, writes_too=False)
+
+
+class _SequentialGraph(_SequentialGraphBase):
+    """The reference build: nodes keyed by deep configuration tuples.
+
+    The full configuration key — ``(statement, thread-state snapshot,
+    memory)`` — is a deep tuple whose hash walks every register, view,
+    and message; interning pays that hash once per discovered edge, which
+    is where most of the certification profile used to go.
+    """
 
     def _intern(self, stmt: Stmt, ts: TState, memory: Memory) -> tuple[int, bool]:
         """Dense id for a configuration, plus whether it is new."""
@@ -140,36 +176,90 @@ class _SequentialGraph:
             self.edges[nid] = successors
         return root
 
-    def _backward_reachable(self, targets: set[int], writes_too: bool) -> set[int]:
-        """Nodes from which some target is reachable (optionally over all
-        edges; otherwise only non-write edges)."""
-        predecessors: list[list[int]] = [[] for _ in range(len(self._ids))]
-        for src, succs in enumerate(self.edges):
-            for dst, step in succs or ():
-                if writes_too or step is None:
-                    predecessors[dst].append(src)
-        good = set(targets)
-        worklist = list(targets)
-        while worklist:
-            node = worklist.pop()
-            for pred in predecessors[node]:
-                if pred not in good:
-                    good.add(pred)
-                    worklist.append(pred)
-        return good
 
-    def can_reach_fulfilled(self) -> set[int]:
-        """Ids of nodes from which a promise-free state is reachable."""
-        return self._backward_reachable(self.fulfilled, writes_too=True)
+class CompiledSequentialGraph(_SequentialGraphBase):
+    """The packed build: nodes keyed ``(stmt id, packed regs, mem id)``.
 
-    def can_reach_finished_locally(self) -> set[int]:
-        """Ids of nodes that reach a finished node via non-write edges.
+    Statements are dense compiled ids (no AST hashing), memories intern
+    to dense ids through a caller-supplied
+    :class:`~repro.promising.intern.IdInterner` (shared across the
+    certification calls of one run, so a memory's messages are hashed
+    once ever), and step enumeration goes through the compiled
+    per-statement tables.  The rule bodies, enumeration order, node
+    equivalence classes, discovery order and fuel cut-off are identical
+    to :class:`_SequentialGraph` by construction, so both builds produce
+    the same :class:`CertificationResult` — the conformance suite holds
+    them to that.
+    """
 
-        Write edges append to memory, so a path avoiding them is exactly
-        a :func:`~repro.promising.steps.non_promise_steps` execution —
-        the relation :func:`can_complete_without_promising` searches.
-        """
-        return self._backward_reachable(self.finished, writes_too=False)
+    def __init__(
+        self, compiled, arch: Arch, tid: TId, fuel: int, mem_ids, appends=None
+    ) -> None:
+        super().__init__(arch, tid, fuel)
+        self.compiled = compiled
+        self.mem_ids = mem_ids
+        #: ``(mem id, loc, value, tid)`` -> appended memory id.  Sequential
+        #: write steps extend memory deterministically, so once an append
+        #: has been interned its id can be replayed without hashing the
+        #: messages tuple again.  The packed backend shares its run-wide
+        #: append memo here, making the ids flow *through* the build:
+        #: every successor memory id is derived from its predecessor's id
+        #: and the written message, never from a by-value memory hash.
+        self.appends: dict[tuple, int] = {} if appends is None else appends
+
+    def _intern(self, sid: int, ts: TState, mem_id: int) -> tuple[int, bool]:
+        key = (sid, ts.pack(self.compiled.registers), mem_id)
+        nid = self._ids.get(key)
+        if nid is not None:
+            return nid, False
+        nid = len(self._ids)
+        self._ids[key] = nid
+        self.edges.append(None)
+        return nid, True
+
+    def _memory_id(self, memory: Memory) -> int:
+        return self.mem_ids.intern(memory.cache_key(), memory)
+
+    def build(self, sid: int, ts: TState, memory: Memory, mem_id=None) -> int:
+        compiled = self.compiled
+        records = compiled.stmts
+        appends = self.appends
+        if mem_id is None:
+            mem_id = self._memory_id(memory)
+        root, _ = self._intern(sid, ts, mem_id)
+        stack = [(root, sid, ts, memory, mem_id)]
+        while stack:
+            nid, sid, ts, memory, mem_id = stack.pop()
+            if self.edges[nid] is not None:
+                continue
+            if not ts.prom:
+                self.fulfilled.add(nid)
+                if records[sid].terminated:
+                    self.finished.add(nid)
+            if len(self._ids) >= self.fuel:
+                self.edges[nid] = []
+                self.complete = False
+                continue
+            successors: list[tuple[int, Optional[ThreadStep]]] = []
+            for succ_sid, step in compiled.candidate_steps(
+                sid, ts, memory, self.arch, self.tid
+            ):
+                if step.memory is memory:
+                    succ_mem = mem_id
+                elif step.kind == "write":
+                    akey = (mem_id, step.loc, step.value, self.tid)
+                    succ_mem = appends.get(akey)
+                    if succ_mem is None:
+                        succ_mem = self._memory_id(step.memory)
+                        appends[akey] = succ_mem
+                else:
+                    succ_mem = self._memory_id(step.memory)
+                succ, fresh = self._intern(succ_sid, step.tstate, succ_mem)
+                successors.append((succ, step if step.kind == "write" else None))
+                if fresh:
+                    stack.append((succ, succ_sid, step.tstate, step.memory, succ_mem))
+            self.edges[nid] = successors
+        return root
 
 
 def certified(
@@ -250,7 +340,7 @@ def _certify(
 
 
 def _harvest_promises(
-    graph: _SequentialGraph, good: set[int], max_ts: int, tid: TId
+    graph: _SequentialGraphBase, good: set[int], max_ts: int, tid: TId
 ) -> frozenset[Msg]:
     """Step 3 of §B: writes on certified prefixes whose views fit memory."""
     promises: set[Msg] = set()
@@ -297,14 +387,58 @@ def certify_thread(
 def _certify_fastpath(stmt: Stmt, ts: TState) -> Optional[CertificationResult]:
     """Terminated promise-free threads need no graph at all."""
     if not ts.prom and is_terminated(stmt):
-        return CertificationResult(
-            certified=True,
-            promises=frozenset(),
-            complete=True,
-            visited=1,
-            can_complete=True,
-        )
+        return _FASTPATH_RESULT
     return None
+
+
+#: The (constant) fastpath answer, shared between both certify entries.
+_FASTPATH_RESULT = CertificationResult(
+    certified=True,
+    promises=frozenset(),
+    complete=True,
+    visited=1,
+    can_complete=True,
+)
+
+
+def certify_compiled(
+    compiled,
+    sid: int,
+    ts: TState,
+    memory: Memory,
+    arch: Arch,
+    tid: TId,
+    fuel: int,
+    mem_ids,
+    mem_id=None,
+    appends=None,
+) -> CertificationResult:
+    """:func:`certify_thread` over the compiled statement tables.
+
+    ``compiled`` is a :class:`~repro.isa.compile.CompiledProgram`,
+    ``sid`` the dense id of the thread's statement, and ``mem_ids`` an
+    :class:`~repro.promising.intern.IdInterner` for memories (shared
+    per exploration run by the packed backend).  ``mem_id`` is the
+    already-interned id of ``memory`` when the caller knows it, and
+    ``appends`` an optional shared append memo (see
+    :class:`CompiledSequentialGraph`); both let the build run without
+    hashing a single messages tuple.  Answers all three certification
+    questions from one :class:`CompiledSequentialGraph` build, with the
+    same results as the reference entry — only the node keys and step
+    dispatch differ.
+    """
+    if not ts.prom and compiled.stmts[sid].terminated:
+        return _FASTPATH_RESULT
+    graph = CompiledSequentialGraph(compiled, arch, tid, fuel, mem_ids, appends)
+    root = graph.build(sid, ts, memory, mem_id)
+    good = graph.can_reach_fulfilled()
+    return CertificationResult(
+        certified=root in good,
+        promises=_harvest_promises(graph, good, memory.last_timestamp, tid),
+        complete=graph.complete,
+        visited=graph.n_nodes,
+        can_complete=root in graph.can_reach_finished_locally(),
+    )
 
 
 class CertificationCache:
@@ -398,7 +532,9 @@ __all__ = [
     "DEFAULT_FUEL",
     "CertificationCache",
     "CertificationResult",
+    "CompiledSequentialGraph",
     "certified",
+    "certify_compiled",
     "certify_thread",
     "find_and_certify",
     "can_complete_without_promising",

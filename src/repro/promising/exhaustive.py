@@ -42,7 +42,7 @@ from ..explore import BaseSearchConfig, SearchKernel, SearchStats, strategy_for
 from ..lang.program import Loc, Program
 from ..lang.transform import localise_private_locations, unroll_program
 from ..lang import has_loops
-from ..outcomes import Outcome, OutcomeSet
+from ..outcomes import OutcomeSet
 from .certification import DEFAULT_FUEL
 
 
@@ -99,6 +99,11 @@ class ExplorationStats(SearchStats):
     #: Hash-consing statistics of the run's intern pool.
     interned_keys: int = 0
     intern_hits: int = 0
+    #: Packed-backend step-table reuse: successor lists replayed from the
+    #: integer memo instead of re-enumerated (0 on the object backend,
+    #: which has no step tables).
+    step_memo_hits: int = 0
+    step_memo_misses: int = 0
 
     def describe(self) -> str:
         return (
@@ -168,14 +173,13 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
         per_thread, can_finish = backend.certify_all(packed)
 
         # Can every thread finish under the current memory without any new
-        # promise?  If so the current memory is a candidate final memory.
+        # promise?  If so the current memory is a candidate final memory:
+        # the backend enumerates per-thread completions and crosses them
+        # into the outcome set in its own representation (decoded register
+        # dicts on ``object``, interned id tuples on ``packed``).
         if all(can_finish):
             stats.final_memories += 1
-            thread_results = backend.completion_sets(packed)
-            if thread_results is not None:
-                _accumulate_outcomes(
-                    outcomes, thread_results, backend.final_memory(packed)
-                )
+            backend.accumulate_outcomes(outcomes, packed)
         elif not any(cert.promises for cert in per_thread):
             # No thread can finish and nobody can promise: a stuck state
             # (possible for ARM store exclusives, §4.3).
@@ -199,25 +203,6 @@ def explore(program: Program, config: Optional[ExploreConfig] = None) -> Explora
     backend.finalise(stats, model="promising")
     stats.elapsed_seconds = time.perf_counter() - start
     return ExplorationResult(outcomes, stats, program)
-
-
-def _accumulate_outcomes(
-    outcomes: OutcomeSet,
-    thread_results: list[set[tuple]],
-    final_memory: dict[Loc, int],
-) -> None:
-    """Cross product of per-thread final register states → outcomes."""
-
-    def recurse(tid: int, acc: list[dict]) -> None:
-        if tid == len(thread_results):
-            outcomes.add(Outcome.make(list(acc), final_memory))
-            return
-        for regs in thread_results[tid]:
-            acc.append(dict(regs))
-            recurse(tid + 1, acc)
-            acc.pop()
-
-    recurse(0, [])
 
 
 # ---------------------------------------------------------------------------

@@ -169,10 +169,16 @@ def _atomic(memory: Memory, loc: Loc, tid: TId, tr: Timestamp, tw: Timestamp) ->
     return True
 
 
-def _read_steps(
-    stmt: Load, rest: Optional[Stmt], ts: TState, memory: Memory, arch: Arch, tid: TId
+def read_steps(
+    stmt: Load, cont: Stmt, ts: TState, memory: Memory, arch: Arch, tid: TId
 ) -> Iterator[ThreadStep]:
-    """All instances of the (read) rule for a load at the head."""
+    """All instances of the (read) rule for a load at the head.
+
+    ``cont`` is the (already normalised) continuation after the head —
+    precomputed once by the caller (:func:`thread_local_steps`, or the
+    compiled per-statement tables of :mod:`repro.isa.compile`) instead of
+    re-derived per enumerated step.
+    """
     loc, v_addr = ts.eval(stmt.addr)
     rk = stmt.kind
     v_pre = vmax(v_addr, ts.vrNew, ts.vRel if rk.is_strong_acquire else 0)
@@ -198,7 +204,7 @@ def _read_steps(
             new.xclb = ExclBank(t, v_post)
         yield ThreadStep(
             kind="read",
-            stmt=_continue(rest),
+            stmt=cont,
             tstate=new,
             memory=memory,
             timestamp=t,
@@ -208,8 +214,8 @@ def _read_steps(
         )
 
 
-def _fulfil_steps(
-    stmt: Store, rest: Optional[Stmt], ts: TState, memory: Memory, arch: Arch, tid: TId
+def fulfil_steps(
+    stmt: Store, cont: Stmt, ts: TState, memory: Memory, arch: Arch, tid: TId
 ) -> Iterator[ThreadStep]:
     """All instances of the (fulfil) rule for a store at the head."""
     loc, v_addr = ts.eval(stmt.addr)
@@ -251,7 +257,7 @@ def _fulfil_steps(
             new.xclb = None
         yield ThreadStep(
             kind="fulfil",
-            stmt=_continue(rest),
+            stmt=cont,
             tstate=new,
             memory=memory,
             timestamp=t,
@@ -263,8 +269,8 @@ def _fulfil_steps(
         )
 
 
-def _exclusive_fail_step(
-    stmt: Store, rest: Optional[Stmt], ts: TState, memory: Memory, tid: TId
+def exclusive_fail_step(
+    stmt: Store, cont: Stmt, ts: TState, memory: Memory, tid: TId
 ) -> ThreadStep:
     """The (exclusive-failure) rule: a store exclusive may always fail."""
     new = ts.copy()
@@ -273,15 +279,15 @@ def _exclusive_fail_step(
     new.xclb = None
     return ThreadStep(
         kind="xcl-fail",
-        stmt=_continue(rest),
+        stmt=cont,
         tstate=new,
         memory=memory,
         description=f"T{tid}: store exclusive fails",
     )
 
 
-def _fence_step(
-    stmt: Fence, rest: Optional[Stmt], ts: TState, memory: Memory, tid: TId
+def fence_step(
+    stmt: Fence, cont: Stmt, ts: TState, memory: Memory, tid: TId
 ) -> ThreadStep:
     """The (fence) rule for the two-argument fences."""
     v1 = vmax(
@@ -295,28 +301,28 @@ def _fence_step(
         new.vwNew = vmax(ts.vwNew, v1)
     return ThreadStep(
         kind="fence",
-        stmt=_continue(rest),
+        stmt=cont,
         tstate=new,
         memory=memory,
         description=f"T{tid}: {stmt!r}",
     )
 
 
-def _isb_step(rest: Optional[Stmt], ts: TState, memory: Memory, tid: TId) -> ThreadStep:
+def isb_step(cont: Stmt, ts: TState, memory: Memory, tid: TId) -> ThreadStep:
     """The (isb) rule: vrNew absorbs vCAP (ρ7)."""
     new = ts.copy()
     new.vrNew = vmax(ts.vrNew, ts.vCAP)
     return ThreadStep(
         kind="isb",
-        stmt=_continue(rest),
+        stmt=cont,
         tstate=new,
         memory=memory,
         description=f"T{tid}: isb",
     )
 
 
-def _assign_step(
-    stmt: Assign, rest: Optional[Stmt], ts: TState, memory: Memory, tid: TId
+def assign_step(
+    stmt: Assign, cont: Stmt, ts: TState, memory: Memory, tid: TId
 ) -> ThreadStep:
     """The (register) rule."""
     value, view = ts.eval(stmt.expr)
@@ -324,7 +330,7 @@ def _assign_step(
     new.regs[stmt.reg] = (value, view)
     return ThreadStep(
         kind="assign",
-        stmt=_continue(rest),
+        stmt=cont,
         tstate=new,
         memory=memory,
         value=value,
@@ -332,22 +338,33 @@ def _assign_step(
     )
 
 
-def _branch_step(
-    stmt: If, rest: Optional[Stmt], ts: TState, memory: Memory, tid: TId
+def branch_step(
+    stmt: If, then_cont: Stmt, else_cont: Stmt, ts: TState, memory: Memory, tid: TId
 ) -> ThreadStep:
-    """The (branch) rule: resolve the condition, merge its view into vCAP."""
+    """The (branch) rule: resolve the condition, merge its view into vCAP.
+
+    ``then_cont`` / ``else_cont`` are the two branch-rule continuations,
+    precomputed by :func:`branch_continuations` (or read from the
+    compiled successor table).
+    """
     value, view = ts.eval(stmt.cond)
     new = ts.copy()
     new.vCAP = vmax(ts.vCAP, view)
-    taken = stmt.then if value != 0 else stmt.orelse
-    succ = taken if rest is None else Seq(taken, rest)
     return ThreadStep(
         kind="branch",
-        stmt=normalise(succ),
+        stmt=then_cont if value != 0 else else_cont,
         tstate=new,
         memory=memory,
         value=value,
         description=f"T{tid}: branch on {value}",
+    )
+
+
+def branch_continuations(head: If, rest: Optional[Stmt]) -> tuple[Stmt, Stmt]:
+    """The (then, else) continuations of a branch head, normalised."""
+    return tuple(  # type: ignore[return-value]
+        normalise(taken if rest is None else Seq(taken, rest))
+        for taken in (head.then, head.orelse)
     )
 
 
@@ -393,21 +410,23 @@ def thread_local_steps(
     head, rest = _split_head(stmt)
     if isinstance(head, Skip):
         return []
+    if isinstance(head, If):
+        then_cont, else_cont = branch_continuations(head, rest)
+        return [branch_step(head, then_cont, else_cont, ts, memory, tid)]
+    cont = _continue(rest)
     if isinstance(head, Load):
-        return list(_read_steps(head, rest, ts, memory, arch, tid))
+        return list(read_steps(head, cont, ts, memory, arch, tid))
     if isinstance(head, Store):
-        steps = list(_fulfil_steps(head, rest, ts, memory, arch, tid))
+        steps = list(fulfil_steps(head, cont, ts, memory, arch, tid))
         if head.exclusive:
-            steps.append(_exclusive_fail_step(head, rest, ts, memory, tid))
+            steps.append(exclusive_fail_step(head, cont, ts, memory, tid))
         return steps
     if isinstance(head, Fence):
-        return [_fence_step(head, rest, ts, memory, tid)]
+        return [fence_step(head, cont, ts, memory, tid)]
     if isinstance(head, Isb):
-        return [_isb_step(rest, ts, memory, tid)]
+        return [isb_step(cont, ts, memory, tid)]
     if isinstance(head, Assign):
-        return [_assign_step(head, rest, ts, memory, tid)]
-    if isinstance(head, If):
-        return [_branch_step(head, rest, ts, memory, tid)]
+        return [assign_step(head, cont, ts, memory, tid)]
     raise TypeError(f"cannot step statement head {head!r}")
 
 
@@ -442,23 +461,36 @@ def normal_write_steps(
     head, rest = _split_head(stmt)
     if not isinstance(head, Store):
         return []
+    return write_steps(head, _continue(rest), ts, memory, arch, tid)
+
+
+def write_steps(
+    head: Store, cont: Stmt, ts: TState, memory: Memory, arch: Arch, tid: TId
+) -> list[ThreadStep]:
+    """The normal-write steps of a store head with continuation ``cont``.
+
+    Body of :func:`normal_write_steps` once the head decomposition is
+    known; called directly by the compiled candidate tables.
+    """
     steps: list[ThreadStep] = []
     loc, _v_addr = ts.eval(head.addr)
     value, _v_data = ts.eval(head.data)
-    promised = promise_step(stmt, ts, memory, Msg(loc, value, tid))
-    for fulfil in _fulfil_steps(head, rest, promised.tstate, promised.memory, arch, tid):
-        if fulfil.timestamp != promised.timestamp:
+    new_memory, t = memory.append(Msg(loc, value, tid))
+    promised = ts.copy()
+    promised.prom = ts.prom | {t}
+    for fulfil in fulfil_steps(head, cont, promised, new_memory, arch, tid):
+        if fulfil.timestamp != t:
             continue
         steps.append(
             ThreadStep(
                 kind="write",
                 stmt=fulfil.stmt,
                 tstate=fulfil.tstate,
-                memory=promised.memory,
-                timestamp=promised.timestamp,
+                memory=new_memory,
+                timestamp=t,
                 loc=loc,
                 value=value,
-                description=f"T{tid}: store [{loc}] := {value} @t{promised.timestamp}",
+                description=f"T{tid}: store [{loc}] := {value} @t{t}",
                 pre_view=fulfil.pre_view,
                 coh_before=fulfil.coh_before,
             )
@@ -497,9 +529,19 @@ __all__ = [
     "normalise",
     "is_terminated",
     "split_head",
+    "branch_continuations",
     "thread_local_steps",
     "promise_step",
     "normal_write_steps",
     "sequential_steps",
     "non_promise_steps",
+    # Continuation-parameterised rule bodies (compiled candidate tables).
+    "read_steps",
+    "fulfil_steps",
+    "exclusive_fail_step",
+    "fence_step",
+    "isb_step",
+    "assign_step",
+    "branch_step",
+    "write_steps",
 ]

@@ -15,14 +15,24 @@ import pytest
 
 from repro.backend import (
     BACKENDS,
+    make_flat_backend,
     make_promising_backend,
     validate_backend,
 )
-from repro.flat import FlatConfig, explore_flat
+from repro.flat import (
+    FlatConfig,
+    FlatStats,
+    explore_flat,
+    initial_state,
+    thread_transitions,
+)
+from repro.flat import successors as flat_successors
 from repro.harness.jobs import Job
-from repro.lang.kinds import Arch
+from repro.lang import LocationEnv, R, if_, load, make_program, seq, store
+from repro.lang.kinds import VSUCC, Arch
 from repro.litmus import generate_battery, get_test
 from repro.promising import ExploreConfig, explore, explore_naive
+from repro.promising.exhaustive import ExplorationStats
 from repro.promising.machine import MachineState, machine_transitions
 
 ARCHS = [Arch.ARM, Arch.RISCV]
@@ -176,6 +186,147 @@ def test_packed_key_equivalence_classes():
     ids = [next(iter(v)) for v in by_key.values()]
     assert all(len(v) == 1 for v in by_key.values())
     assert len(ids) == len(set(ids))
+
+
+# ---------------------------------------------------------------------------
+# Certification / completion-set equivalence laws
+# ---------------------------------------------------------------------------
+
+
+def _assert_cert_equivalence(program, arch, limit):
+    """Packed ``certify_all``/``completion_sets`` == object, pointwise.
+
+    The explorer-level conformance above compares whole runs; these laws
+    pin the per-state answers: for every reachable machine state both
+    backends must agree on certification (certified bit, promise set,
+    truncation, fixed-memory completability, even the visited count of
+    the sequential graph) and, at candidate final memories, on the exact
+    per-thread completion sets.
+    """
+    config = ExploreConfig(arch=arch)
+    obj = make_promising_backend("object", program, config, ExplorationStats())
+    packed = make_promising_backend("packed", program, config, ExplorationStats())
+    checked_completions = 0
+    for state in _reachable(program, arch, limit=limit):
+        enc = packed.encode(state)
+        o_res, o_fin = obj.certify_all(state)
+        p_res, p_fin = packed.certify_all(enc)
+        assert o_fin == p_fin, f"{program.name}: can-finish diverges"
+        for tid, (o, p) in enumerate(zip(o_res, p_res)):
+            context = f"{program.name} thread {tid}"
+            assert o.certified == p.certified, context
+            assert o.promises == p.promises, context
+            assert o.complete == p.complete, context
+            assert o.can_complete == p.can_complete, context
+            assert o.visited == p.visited, context
+        if all(o_fin):
+            assert obj.completion_sets(state) == packed.completion_sets(enc), (
+                f"{program.name}: completion sets diverge"
+            )
+            checked_completions += 1
+    assert checked_completions > 0, "slice never reached a final memory"
+
+
+@pytest.mark.parametrize("arch", ARCHS, ids=[a.value for a in ARCHS])
+@pytest.mark.parametrize("name", ["MP", "WRC+pos", "LSE-atomicity", "2+2W"])
+def test_certification_equivalence_laws(name, arch):
+    _assert_cert_equivalence(get_test(name).program, arch, limit=60)
+
+
+@pytest.mark.parametrize("test", GENERATED, ids=[t.name for t in GENERATED])
+def test_certification_equivalence_on_generated_corpus(test):
+    _assert_cert_equivalence(test.program, ExploreConfig().arch, limit=40)
+
+
+# ---------------------------------------------------------------------------
+# Packed-Flat window round-trip laws
+# ---------------------------------------------------------------------------
+
+
+def _pr5_regression_program():
+    """The PR 5 reservation-clear regression shape (see test_flat.py).
+
+    T1's mis-speculated branch body contains a second load-exclusive of
+    ``x``; the squashed load must take its reservation with it or the
+    trailing store-exclusive pairs with a load that architecturally
+    never happened.
+    """
+    env = LocationEnv()
+    x, y = env["x"], env["y"]
+    t0 = store(x, 7)
+    t1 = seq(
+        load("r0", x, exclusive=True),
+        load("r1", y),
+        if_(R("r1").eq(1), load("r2", x, exclusive=True)),
+        store(x, 5, exclusive=True, succ_reg="rs"),
+    )
+    return make_program([t0, t1], env=env, name="PR5-reservation-clear"), x
+
+
+def _flat_reachable(program, config, limit):
+    init = initial_state(program, config.arch)
+    seen = {init.cache_key(): init}
+    frontier = [init]
+    while frontier and len(seen) < limit:
+        state = frontier.pop()
+        for _label, succ in flat_successors(state, config):
+            key = succ.cache_key()
+            if key not in seen:
+                seen[key] = succ
+                frontier.append(succ)
+    return list(seen.values())
+
+
+def _make_flat(backend, program, config, stats):
+    return make_flat_backend(
+        backend, program, config, stats, flat_successors, thread_transitions
+    )
+
+
+@pytest.mark.parametrize("arch", ARCHS, ids=[a.value for a in ARCHS])
+def test_packed_flat_roundtrip_laws(arch):
+    # Window entries, alternative continuations, speculation flags and
+    # the reservation must all survive the pack/unpack cycle — the
+    # regression program exercises every one of those fields.
+    program, _x = _pr5_regression_program()
+    config = FlatConfig(arch=arch)
+    backend = _make_flat("packed", program, config, FlatStats())
+    for state in _flat_reachable(program, config, limit=250):
+        packed_state = backend.encode(state)
+        assert backend.key(packed_state) == packed_state
+        assert backend.encode(backend.decode(packed_state)) == packed_state
+        assert backend.decode(packed_state).cache_key() == state.cache_key()
+
+
+def test_packed_flat_successors_match_reference_on_regression_program():
+    program, _x = _pr5_regression_program()
+    config = FlatConfig()
+    stats_o, stats_p = FlatStats(), FlatStats()
+    obj = _make_flat("object", program, config, stats_o)
+    packed = _make_flat("packed", program, config, stats_p)
+    for state in _flat_reachable(program, config, limit=200):
+        enc = packed.encode(state)
+        obj_keys = [succ.cache_key() for succ in obj.successors(state)]
+        packed_keys = [
+            packed.decode(p).cache_key() for p in packed.successors(enc)
+        ]
+        assert obj_keys == packed_keys, "successor lists (or order) diverge"
+    # Both backends saw every state exactly once, so the per-visit
+    # restart accounting must agree too.
+    assert stats_p.restarts == stats_o.restarts
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_flat_reservation_clear_regression(backend):
+    # The PR 5 bugfix, re-pinned per backend: a squashed exclusive load
+    # must clear the reservation, so the non-atomic store-exclusive
+    # success is forbidden on both representations.
+    program, x = _pr5_regression_program()
+    result = explore_flat(program, FlatConfig(backend=backend))
+    assert not any(
+        o.mem(x) == 5 and o.reg(1, "r0") == 0 and o.reg(1, "rs") == VSUCC
+        for o in result.outcomes
+    )
 
 
 # ---------------------------------------------------------------------------

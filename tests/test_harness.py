@@ -568,7 +568,10 @@ class TestFuzz:
     def test_all_timeouts_fail_the_battery(self):
         # A battery that never ran to completion proved nothing: it must
         # not report success just because no counterexample surfaced.
-        fuzz = self._small_fuzz(timeout=0.0005)
+        # The deadline must expire before even the smallest warm-cache job
+        # can finish (well under a millisecond now), so make it absurdly
+        # small rather than merely small.
+        fuzz = self._small_fuzz(timeout=1e-07)
         assert fuzz.report["status_counts"] == {STATUS_TIMEOUT: 4}
         assert fuzz.counterexamples == []
         assert not fuzz.ok
